@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper and asserts
+its qualitative *shape* (orderings, crossovers, sign of deltas), never
+absolute IPC.  Budgets come from RunBudget.from_environment(): set
+``REPRO_FAST=1`` for a quick pass or ``REPRO_FULL=1`` for final numbers.
+"""
+
+import pytest
+
+from repro.experiments.runner import RunBudget
+
+
+@pytest.fixture(scope="session")
+def budget():
+    return RunBudget.from_environment()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,99 @@
+"""Section 7: the bottleneck-hunting experiments on ICOUNT.2.8.
+
+Each test relieves or restricts one machine component and asserts the
+paper's directional result.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import bottlenecks
+
+
+def delta(base, variant):
+    return (variant.ipc - base.ipc) / base.ipc
+
+
+def test_issue_bandwidth_not_a_bottleneck(benchmark, budget):
+    d = run_once(benchmark, lambda: bottlenecks.issue_bandwidth(budget=budget))
+    change = delta(d["baseline"], d["infinite FUs"])
+    print(f"infinite FUs: {change:+.1%} (paper: +0.5%)")
+    assert change < 0.10  # tiny effect
+
+def test_queue_size_not_a_bottleneck(benchmark, budget):
+    d = run_once(benchmark, lambda: bottlenecks.queue_size(budget=budget))
+    change = delta(d["baseline"], d["64-entry queues"])
+    print(f"64-entry queues: {change:+.1%} (paper: <+1%)")
+    assert change < 0.12
+
+def test_fetch_bandwidth_still_a_bottleneck(benchmark, budget):
+    d = run_once(benchmark, lambda: bottlenecks.fetch_bandwidth(budget=budget))
+    wide = delta(d["baseline"], d["16-wide fetch"])
+    wide_big = delta(d["baseline"], d["16-wide + 64Q + 140 regs"])
+    print(f"16-wide: {wide:+.1%} (paper +8%); "
+          f"+64Q+140regs: {wide_big:+.1%} (paper +15%)")
+    # Widening fetch helps more than widening issue/queues did.
+    assert wide > -0.02
+    assert wide_big >= wide - 0.03
+
+def test_branch_prediction_quality(benchmark, budget):
+    d = run_once(
+        benchmark,
+        lambda: bottlenecks.branch_prediction(budget=budget,
+                                              thread_counts=(1, 8)),
+    )
+    gain_1t = delta(d["baseline"][0], d["perfect"][0])
+    gain_8t = delta(d["baseline"][1], d["perfect"][1])
+    print(f"perfect bp: 1T {gain_1t:+.1%} (paper +25%), "
+          f"8T {gain_8t:+.1%} (paper +9%)")
+    # Perfect prediction helps, and helps the single thread more:
+    # SMT is less sensitive to branch prediction quality.
+    assert gain_1t > 0.02
+    assert gain_8t < gain_1t
+    doubled = delta(d["baseline"][1], d["doubled tables"][1])
+    print(f"doubled tables 8T: {doubled:+.1%} (paper +2%)")
+    assert doubled < 0.20
+
+def test_speculative_execution_costs(benchmark, budget):
+    d = run_once(
+        benchmark,
+        lambda: bottlenecks.speculative_execution(budget=budget,
+                                                  thread_counts=(1, 8)),
+    )
+    nwp_1t = delta(d["baseline"][0], d["no wrong-path issue"][0])
+    nwp_8t = delta(d["baseline"][1], d["no wrong-path issue"][1])
+    npb_1t = delta(d["baseline"][0], d["no passing branches"][0])
+    npb_8t = delta(d["baseline"][1], d["no passing branches"][1])
+    print(f"no wrong-path: 1T {nwp_1t:+.1%} (paper -38%), "
+          f"8T {nwp_8t:+.1%} (paper -7%)")
+    print(f"no pass-branch: 1T {npb_1t:+.1%} (paper -12%), "
+          f"8T {npb_8t:+.1%} (paper -1.5%)")
+    # Restricting speculation hurts, and hurts one thread much more
+    # than eight (SMT exploits inter-thread parallelism instead).
+    assert nwp_1t < -0.05
+    assert nwp_1t < nwp_8t
+    assert npb_1t <= 0.02
+    assert npb_8t > nwp_8t - 0.02  # milder restriction, milder cost
+
+def test_memory_throughput(benchmark, budget):
+    d = run_once(benchmark, lambda: bottlenecks.memory_throughput(budget=budget))
+    change = delta(d["baseline"], d["infinite bandwidth"])
+    print(f"infinite memory bandwidth: {change:+.1%} (paper: +3%)")
+    assert -0.05 < change < 0.35
+
+def test_register_file_size(benchmark, budget):
+    rows = run_once(
+        benchmark,
+        lambda: bottlenecks.register_file_size(
+            budget=budget, excess_values=(70, 100, 100000)
+        ),
+    )
+    by_excess = {e: p for e, p in rows}
+    d70 = delta(by_excess[100], by_excess[70])
+    dinf = delta(by_excess[100], by_excess[100000])
+    print(f"70 excess: {d70:+.1%} (paper -6%); "
+          f"infinite: {dinf:+.1%} (paper +2%)")
+    # No sharp drop-off: modest cost at 70, modest gain at infinity.
+    assert d70 < 0.05
+    assert dinf > -0.05
+    assert dinf < 0.40

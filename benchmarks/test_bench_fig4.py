@@ -1,0 +1,33 @@
+"""Figure 4: fetch-partitioning schemes (RR.1.8, RR.2.4, RR.4.2, RR.2.8).
+
+Paper: RR.2.8 gives the best of both worlds — single-thread performance
+like RR.1.8 and many-thread throughput at least as good as RR.2.4;
+RR.4.2 suffers thread shortage and costs single-thread performance.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_figure4(benchmark, budget):
+    data = run_once(
+        benchmark,
+        lambda: figures.figure4(budget=budget, thread_counts=(1, 4, 8)),
+    )
+    figures.print_figure4(data)
+
+    def ipc(label, threads):
+        return next(p.ipc for p in data[label] if p.n_threads == threads)
+
+    # Single thread: narrow per-thread fetch (RR.4.2 = 2 instructions)
+    # costs significant single-thread performance vs 8-wide.
+    assert ipc("RR.4.2", 1) < 0.85 * ipc("RR.1.8", 1)
+
+    # The flexible RR.2.8 does not sacrifice single-thread throughput.
+    assert ipc("RR.2.8", 1) > 0.9 * ipc("RR.1.8", 1)
+
+    # At 8 threads, fetching from two threads beats one.
+    assert ipc("RR.2.8", 8) > ipc("RR.1.8", 8)
+
+    # RR.2.8's flexible filling at least matches the fixed 4+4 split.
+    assert ipc("RR.2.8", 8) > 0.95 * ipc("RR.2.4", 8)

@@ -1,0 +1,43 @@
+"""Figure 5: fetch thread-choice policies vs round-robin.
+
+Paper: every heuristic beats RR; ICOUNT is the clear winner (up to +23%
+over the best RR result), IQPOSN tracks ICOUNT within a few percent,
+BRCOUNT and MISSCOUNT give moderate gains at many threads.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_figure5(benchmark, budget):
+    data = run_once(
+        benchmark,
+        lambda: figures.figure5(budget=budget, thread_counts=(4, 8),
+                                partitions=((2, 8),)),
+    )
+    figures.print_figure5(data)
+
+    def ipc(label, threads):
+        return next(p.ipc for p in data[label] if p.n_threads == threads)
+
+    rr8 = ipc("RR.2.8", 8)
+    icount8 = ipc("ICOUNT.2.8", 8)
+    iqposn8 = ipc("IQPOSN.2.8", 8)
+
+    # ICOUNT is the headline result: a gain over round-robin.  (The
+    # margin grows with the run budget — short REPRO_FAST windows don't
+    # give the round-robin queues time to clog; REPRO_FULL shows the
+    # paper-scale gap.)
+    assert icount8 > 1.01 * rr8
+
+    # IQPOSN provides similar (but not better) results than ICOUNT
+    # (paper: within 4%, never exceeding it; we allow a little noise).
+    assert iqposn8 > 0.9 * rr8
+    assert iqposn8 < 1.08 * icount8
+
+    # ICOUNT helps at 4 threads too, not only at saturation.
+    assert ipc("ICOUNT.2.8", 4) > ipc("RR.2.8", 4)
+
+    # No policy collapses.
+    for label in data:
+        assert ipc(label, 8) > 0.5 * rr8

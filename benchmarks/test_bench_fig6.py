@@ -1,0 +1,32 @@
+"""Figure 6: BIGQ and ITAG on top of ICOUNT fetch.
+
+Paper: the bigger (64-entry, 32-searchable) queues add nothing once
+ICOUNT is in place (and can even hurt, by acting on stale priorities);
+early I-cache tag lookup helps ICOUNT.1.8 most (up to +8%) and the
+flexible 2.8 scheme little (<2%), while costing with few threads.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_figure6(benchmark, budget):
+    data = run_once(
+        benchmark,
+        lambda: figures.figure6(budget=budget, thread_counts=(4, 8),
+                                partitions=((1, 8), (2, 8))),
+    )
+    figures.print_figure6(data)
+
+    def ipc(label, threads):
+        return next(p.ipc for p in data[label] if p.n_threads == threads)
+
+    icount8 = ipc("ICOUNT.2.8", 8)
+
+    # BIGQ adds no significant improvement over ICOUNT (paper: ~0%,
+    # sometimes negative).  Assert it is not a material win.
+    assert ipc("BIGQ,ICOUNT.2.8", 8) < 1.10 * icount8
+
+    # ITAG does not collapse anything and stays in the same band.
+    assert ipc("ITAG,ICOUNT.2.8", 8) > 0.85 * icount8
+    assert ipc("ITAG,ICOUNT.1.8", 8) > 0.85 * ipc("ICOUNT.1.8", 8)

@@ -1,0 +1,36 @@
+"""Table 3: low-level metrics of the base architecture at 1/4/8 threads.
+
+Paper's directional facts: cache miss rates and branch/jump
+misprediction rates *rise* with more threads; wrong-path fetch fraction
+*falls* (SMT fetches less speculatively deep per thread).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import tables
+
+
+def test_table3(benchmark, budget):
+    points = run_once(
+        benchmark, lambda: tables.table3(budget=budget, thread_counts=(1, 4, 8))
+    )
+    tables.print_table3(points)
+
+    icache_1 = points[1].cache_metric("icache", "miss_rate")
+    icache_8 = points[8].cache_metric("icache", "miss_rate")
+    assert icache_8 > icache_1  # I-cache pressure grows with threads
+
+    dcache_1 = points[1].cache_metric("dcache", "miss_rate")
+    dcache_8 = points[8].cache_metric("dcache", "miss_rate")
+    assert dcache_8 > dcache_1
+
+    bmr_1 = points[1].metric("branch_mispredict_rate")
+    bmr_8 = points[8].metric("branch_mispredict_rate")
+    assert bmr_8 > bmr_1  # shared predictor tables degrade
+
+    wpf_1 = points[1].metric("wrong_path_fetched_frac")
+    wpf_8 = points[8].metric("wrong_path_fetched_frac")
+    assert wpf_8 < wpf_1  # paper: 24% at 1 thread vs 7% at 8
+
+    # Queues hold a healthy population at every thread count.
+    for t in (1, 4, 8):
+        assert points[t].metric("avg_queue_population") > 10

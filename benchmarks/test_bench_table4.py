@@ -1,0 +1,30 @@
+"""Table 4: ICOUNT nearly eliminates IQ clog relative to round-robin.
+
+Paper (8 threads, 2.8 fetch): integer IQ-full drops from 18% to 6%,
+fp IQ-full from 8% to 1%, and the queues hold *fewer* instructions under
+ICOUNT while finding more issuable ones.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import tables
+
+
+def test_table4(benchmark, budget):
+    points = run_once(benchmark, lambda: tables.table4(budget=budget))
+    tables.print_table4(points)
+
+    rr = points["RR.2.8"]
+    icount = points["ICOUNT.2.8"]
+
+    # The headline: ICOUNT slashes IQ-full conditions.
+    assert icount.metric("int_iq_full_frac") < rr.metric("int_iq_full_frac")
+
+    # And it does so while improving throughput.
+    assert icount.ipc > rr.ipc
+
+    # Queue population under ICOUNT does not balloon (paper: it drops
+    # from 38 to 30; we assert it doesn't grow materially).
+    assert (
+        icount.metric("avg_queue_population")
+        < rr.metric("avg_queue_population") * 1.15
+    )

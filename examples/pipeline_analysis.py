@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Pipeline analysis: look *inside* the machine.
+
+Uses the pipeline tracer to render a text pipeview of SMT execution
+(watch instructions from different threads interleave in the same
+cycles), and the histogram collector to compare queue-wait and
+residency distributions under round-robin vs ICOUNT fetch — the
+distributions behind the paper's Table 4.
+
+Run:  python examples/pipeline_analysis.py
+"""
+
+from repro import SMTConfig, Simulator, standard_mix
+from repro.core.config import scheme
+from repro.core.histograms import MetricsCollector
+from repro.core.trace import PipelineTracer
+
+
+def show_pipeview():
+    print("=" * 72)
+    print("Pipeview: 4 threads sharing the pipeline (ICOUNT.2.8)")
+    print("=" * 72)
+    config = scheme("ICOUNT", 2, 8, n_threads=4)
+    sim = Simulator(config, standard_mix(4))
+    sim.functional_warmup(20000)
+    for _ in range(200):
+        sim.step()
+    tracer = PipelineTracer(sim, max_records=48)
+    start = sim.cycle
+    for _ in range(60):
+        sim.step()
+    print(tracer.render(start + 2, start + 50, max_rows=28))
+    print()
+
+
+def show_distributions():
+    print("=" * 72)
+    print("Why ICOUNT wins: queue-wait distributions (RR vs ICOUNT, 8T)")
+    print("=" * 72)
+    for policy in ("RR", "ICOUNT"):
+        config = scheme(policy, 2, 8, n_threads=8)
+        sim = Simulator(config, standard_mix(8))
+        sim.functional_warmup(40000)
+        for _ in range(1500):
+            sim.step()
+        collector = MetricsCollector(sim)
+        for _ in range(6000):
+            sim.step()
+        print(f"\n--- {policy}.2.8 ---")
+        print(collector.queue_wait.render(max_rows=8))
+        print(f"fairness (Jain): {collector.fairness():.3f}")
+        collector.detach()
+    print("\nLong queue waits are IQ clog: instructions parked in the "
+          "queue\nbehind stalled threads.  ICOUNT compresses the tail.")
+
+
+def main():
+    show_pipeview()
+    show_distributions()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Collect the full set of paper-reproduction results.
+
+Runs every figure and table harness plus the Section 7 bottleneck
+report at a serious budget, printing everything in the paper's format.
+Used to populate EXPERIMENTS.md.
+
+Run:  python scripts/collect_results.py | tee experiments_output.txt
+"""
+
+import time
+
+from repro.experiments import bottlenecks, figures, tables
+from repro.experiments.runner import RunBudget
+
+BUDGET = RunBudget(
+    warmup_cycles=3000,
+    measure_cycles=15000,
+    functional_warmup_instructions=80000,
+    rotations=2,
+)
+
+
+def stamp(label):
+    print(f"\n{'=' * 70}\n{label}\n{'=' * 70}", flush=True)
+
+
+def main():
+    t0 = time.time()
+
+    stamp("Figure 3: base hardware throughput")
+    figures.print_figure3(
+        figures.figure3(budget=BUDGET, thread_counts=(1, 2, 4, 6, 8))
+    )
+
+    stamp("Table 3: low-level metrics, base architecture")
+    tables.print_table3(tables.table3(budget=BUDGET))
+
+    stamp("Figure 4: fetch partitioning")
+    figures.print_figure4(
+        figures.figure4(budget=BUDGET, thread_counts=(1, 4, 8))
+    )
+
+    stamp("Figure 5: fetch thread-choice policies")
+    figures.print_figure5(
+        figures.figure5(budget=BUDGET, thread_counts=(4, 8))
+    )
+
+    stamp("Table 4: RR vs ICOUNT low-level metrics")
+    tables.print_table4(tables.table4(budget=BUDGET))
+
+    stamp("Figure 6: BIGQ and ITAG")
+    figures.print_figure6(
+        figures.figure6(budget=BUDGET, thread_counts=(4, 8))
+    )
+
+    stamp("Table 5: issue priority schemes")
+    tables.print_table5(tables.table5(budget=BUDGET))
+
+    stamp("Figure 7: 200 physical registers, 1-5 contexts")
+    figures.print_figure7(figures.figure7(budget=BUDGET))
+
+    stamp("Section 7: bottleneck experiments")
+    bottlenecks.print_report(BUDGET)
+
+    print(f"\ntotal collection time: {time.time() - t0:.0f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main()

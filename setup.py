@@ -1,0 +1,16 @@
+"""Setup shim for environments with older setuptools/pip.
+
+``pip install -e .`` uses pyproject.toml on modern toolchains; this shim
+lets ``python setup.py develop`` work where PEP 517 editable installs are
+unavailable (e.g. offline machines without the ``wheel`` package).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,54 @@
+"""repro — a reproduction of Tullsen et al., "Exploiting Choice:
+Instruction Fetch and Issue on an Implementable Simultaneous
+Multithreading Processor" (ISCA 1996).
+
+The package is a complete, cycle-level SMT processor simulator:
+
+``repro.isa``
+    a small load/store RISC instruction set, assembler, and functional
+    emulator (the correct-path oracle);
+``repro.workloads``
+    synthetic SPEC92-like multiprogrammed workloads;
+``repro.branch``
+    BTB / gshare PHT / per-context return stacks;
+``repro.memory``
+    the banked, lockup-free cache hierarchy of Table 2;
+``repro.core``
+    the SMT pipeline — fetch partitioning and thread-choice policies
+    (RR, BRCOUNT, MISSCOUNT, ICOUNT, IQPOSN), register renaming,
+    instruction queues, issue policies, optimistic issue, per-thread
+    retirement;
+``repro.experiments``
+    harnesses that regenerate every table and figure of the paper.
+
+Quickstart::
+
+    from repro import SMTConfig, Simulator, standard_mix
+
+    config = SMTConfig(n_threads=8, fetch_policy="ICOUNT",
+                       fetch_threads=2, fetch_per_thread=8)
+    sim = Simulator(config, standard_mix(8))
+    result = sim.run()
+    print(result.summary())
+"""
+
+from repro.core.config import SMTConfig, scheme
+from repro.core.simulator import SimResult, Simulator
+from repro.workloads.mixes import standard_mix
+from repro.workloads.profiles import PROFILES, WorkloadProfile, profile_names
+from repro.workloads.synthetic import generate_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SMTConfig",
+    "scheme",
+    "Simulator",
+    "SimResult",
+    "standard_mix",
+    "PROFILES",
+    "WorkloadProfile",
+    "profile_names",
+    "generate_program",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Branch prediction substrate (paper Section 2.1).
+
+Fetching is controlled by a decoupled branch target buffer (BTB) and
+pattern history table (PHT) scheme:
+
+* a 256-entry, 4-way set-associative BTB whose entries carry a **thread
+  id** so one thread never predicts another thread's ("phantom") branches,
+* a 2K x 2-bit PHT indexed by the XOR of the low PC bits and a global
+  history register (gshare),
+* a 12-entry return stack **per context** for subroutine returns.
+"""
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.pht import PatternHistoryTable, TwoBitCounter
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.predictor import BranchPredictor, Prediction
+
+__all__ = [
+    "BranchTargetBuffer",
+    "PatternHistoryTable",
+    "TwoBitCounter",
+    "ReturnAddressStack",
+    "BranchPredictor",
+    "Prediction",
+]

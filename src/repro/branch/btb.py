@@ -1,0 +1,64 @@
+"""Branch target buffer: 256 entries, 4-way set associative, thread-id
+tagged (paper Section 2.1).
+
+The thread id in each entry prevents "phantom branches": without it, a
+thread whose PC happens to collide with another thread's branch entry
+would predict a branch that does not exist in its own code.  Entries are
+replaced LRU within a set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB mapping (thread, PC) -> predicted target."""
+
+    def __init__(self, entries: int = 256, assoc: int = 4, tag_thread: bool = True):
+        if entries % assoc:
+            raise ValueError("entries must be a multiple of assoc")
+        self.entries = entries
+        self.assoc = assoc
+        self.n_sets = entries // assoc
+        self.tag_thread = tag_thread
+        # Each set is an LRU-ordered list (most recent last) of
+        # (thread_id, pc, target) tuples.
+        self._sets: List[List[Tuple[int, int, int]]] = [
+            [] for _ in range(self.n_sets)
+        ]
+
+    def _set_index(self, pc: int) -> int:
+        return (pc >> 2) % self.n_sets
+
+    def _key(self, tid: int, pc: int) -> Tuple[int, int]:
+        # Without thread tagging, all threads share tag space and may
+        # match each other's entries (the phantom-branch hazard).
+        return (tid if self.tag_thread else 0, pc)
+
+    def lookup(self, tid: int, pc: int) -> Optional[int]:
+        """Return the predicted target for (tid, pc), or None on miss."""
+        entry_set = self._sets[self._set_index(pc)]
+        want_tid, want_pc = self._key(tid, pc)
+        for i, (etid, epc, target) in enumerate(entry_set):
+            if epc == want_pc and etid == want_tid:
+                entry_set.append(entry_set.pop(i))  # touch LRU
+                return target
+        return None
+
+    def insert(self, tid: int, pc: int, target: int) -> None:
+        """Insert or update the entry for (tid, pc)."""
+        entry_set = self._sets[self._set_index(pc)]
+        want_tid, want_pc = self._key(tid, pc)
+        for i, (etid, epc, _) in enumerate(entry_set):
+            if epc == want_pc and etid == want_tid:
+                entry_set.pop(i)
+                break
+        else:
+            if len(entry_set) >= self.assoc:
+                entry_set.pop(0)  # evict LRU
+        entry_set.append((want_tid, want_pc, target))
+
+    def occupancy(self) -> int:
+        """Total valid entries (for tests and diagnostics)."""
+        return sum(len(s) for s in self._sets)

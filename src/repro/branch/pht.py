@@ -1,0 +1,70 @@
+"""Pattern history table: 2K x 2-bit saturating counters, gshare-indexed
+(paper Section 2.1, citing McFarling and Yeh/Patt).
+
+The index is the XOR of the low PC bits and the global history register.
+Histories are kept per hardware context (each thread sees its own branch
+stream in a multiprogrammed workload); the table itself is shared, so
+threads do interfere in the counters — exactly the pressure the paper
+measures in Table 3.
+"""
+
+from __future__ import annotations
+
+
+class TwoBitCounter:
+    """Classic 2-bit saturating counter (0..3; >=2 predicts taken).
+
+    Provided as a tiny reusable component; the PHT stores raw ints for
+    speed but mirrors this logic.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 1):
+        if not 0 <= value <= 3:
+            raise ValueError("counter value must be 0..3")
+        self.value = value
+
+    @property
+    def taken(self) -> bool:
+        return self.value >= 2
+
+    def update(self, taken: bool) -> None:
+        if taken:
+            if self.value < 3:
+                self.value += 1
+        elif self.value > 0:
+            self.value -= 1
+
+
+class PatternHistoryTable:
+    """gshare direction predictor with a shared counter table."""
+
+    def __init__(self, entries: int = 2048, history_bits: int = 11):
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.mask = entries - 1
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+        # Weakly-not-taken initial state.
+        self.table = [1] * entries
+
+    def index(self, pc: int, history: int) -> int:
+        return ((pc >> 2) ^ history) & self.mask
+
+    def predict(self, pc: int, history: int) -> bool:
+        return self.table[self.index(pc, history)] >= 2
+
+    def update(self, pc: int, history: int, taken: bool) -> None:
+        idx = self.index(pc, history)
+        value = self.table[idx]
+        if taken:
+            if value < 3:
+                self.table[idx] = value + 1
+        elif value > 0:
+            self.table[idx] = value - 1
+
+    def push_history(self, history: int, taken: bool) -> int:
+        """Return ``history`` extended with one more branch outcome."""
+        return ((history << 1) | int(taken)) & self.history_mask

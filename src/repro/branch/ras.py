@@ -1,0 +1,53 @@
+"""Per-context return address stack (12 entries, paper Section 2.1).
+
+The stack is a circular buffer: pushing past capacity silently overwrites
+the oldest entry (so deep recursion causes return mispredictions once the
+stack wraps, as on real hardware).  Because pushes and pops happen
+speculatively at fetch, the fetch unit checkpoints ``top`` at each branch
+and restores it on a squash.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReturnAddressStack:
+    """Circular return-address predictor stack for one hardware context."""
+
+    def __init__(self, depth: int = 12):
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._buf = [0] * depth
+        # Monotonically increasing push cursor; (top % depth) is the slot
+        # of the next push.  Keeping it monotonic makes checkpoint/restore
+        # a single integer copy.
+        self.top = 0
+
+    def push(self, return_address: int) -> None:
+        self._buf[self.top % self.depth] = return_address
+        self.top += 1
+
+    def pop(self) -> Optional[int]:
+        """Pop and return the predicted return address (None if empty)."""
+        if self.top == 0:
+            return None
+        self.top -= 1
+        return self._buf[self.top % self.depth]
+
+    def checkpoint(self) -> int:
+        """Capture the stack position for later :meth:`restore`."""
+        return self.top
+
+    def restore(self, checkpoint: int) -> None:
+        """Rewind to a checkpoint taken before a squashed speculation.
+
+        Entries overwritten by deeper speculative pushes are not
+        recovered — matching hardware, where only the top-of-stack
+        pointer is checkpointed.
+        """
+        self.top = checkpoint
+
+    def __len__(self) -> int:
+        return min(self.top, self.depth)

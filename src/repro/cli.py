@@ -1,0 +1,222 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro run --threads 8 --policy ICOUNT --num1 2 --num2 8
+    python -m repro run --threads 1 --superscalar
+    python -m repro experiment fig3 [--fast | --full]
+    python -m repro experiment all
+    python -m repro workload espresso --instructions 20000
+    python -m repro list
+
+Every experiment subcommand regenerates one of the paper's tables or
+figures and prints it in the paper's format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import (
+    FETCH_POLICIES,
+    ISSUE_POLICIES,
+    SMTConfig,
+)
+from repro.core.simulator import Simulator
+from repro.experiments import bottlenecks, figures, tables
+from repro.experiments.runner import RunBudget
+from repro.workloads.mixes import standard_mix
+from repro.workloads.profiles import PROFILES
+from repro.workloads.synthetic import generate_program
+
+EXPERIMENTS = {
+    "fig3": lambda budget: figures.print_figure3(figures.figure3(budget=budget)),
+    "fig4": lambda budget: figures.print_figure4(
+        figures.figure4(budget=budget, thread_counts=(1, 4, 8))
+    ),
+    "fig5": lambda budget: figures.print_figure5(
+        figures.figure5(budget=budget, thread_counts=(4, 8))
+    ),
+    "fig6": lambda budget: figures.print_figure6(
+        figures.figure6(budget=budget, thread_counts=(4, 8))
+    ),
+    "fig7": lambda budget: figures.print_figure7(figures.figure7(budget=budget)),
+    "table3": lambda budget: tables.print_table3(tables.table3(budget=budget)),
+    "table4": lambda budget: tables.print_table4(tables.table4(budget=budget)),
+    "table5": lambda budget: tables.print_table5(tables.table5(budget=budget)),
+    "bottlenecks": lambda budget: bottlenecks.print_report(budget),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SMT processor simulator reproducing Tullsen et al., "
+                    "ISCA 1996 ('Exploiting Choice').",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one machine configuration")
+    run.add_argument("--threads", type=int, default=8,
+                     help="hardware contexts (default 8)")
+    run.add_argument("--policy", choices=FETCH_POLICIES, default="ICOUNT",
+                     help="fetch thread-choice policy")
+    run.add_argument("--num1", type=int, default=2,
+                     help="threads fetched per cycle")
+    run.add_argument("--num2", type=int, default=8,
+                     help="max instructions per thread per cycle")
+    run.add_argument("--issue", choices=ISSUE_POLICIES, default="OLDEST",
+                     help="issue priority policy")
+    run.add_argument("--bigq", action="store_true",
+                     help="double queue capacity, search first 32")
+    run.add_argument("--itag", action="store_true",
+                     help="early I-cache tag lookup")
+    run.add_argument("--superscalar", action="store_true",
+                     help="conventional (non-SMT) pipeline")
+    run.add_argument("--perfect-bp", action="store_true",
+                     help="perfect branch prediction")
+    run.add_argument("--cycles", type=int, default=15000,
+                     help="measured cycles (default 15000)")
+    run.add_argument("--warmup", type=int, default=2000,
+                     help="timed warmup cycles (default 2000)")
+    run.add_argument("--rotation", type=int, default=0,
+                     help="workload rotation index (default 0)")
+
+    exp = sub.add_parser("experiment",
+                         help="regenerate a table/figure of the paper")
+    exp.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
+    exp.add_argument("--fast", action="store_true",
+                     help="small budget (quick look)")
+    exp.add_argument("--full", action="store_true",
+                     help="large budget (final numbers)")
+
+    wl = sub.add_parser("workload",
+                        help="inspect a synthetic benchmark program")
+    wl.add_argument("name", choices=sorted(PROFILES))
+    wl.add_argument("--instructions", type=int, default=20000,
+                    help="dynamic instructions to characterise")
+    wl.add_argument("--listing", action="store_true",
+                    help="print the first 40 lines of disassembly")
+
+    sub.add_parser("list", help="list workloads, policies, experiments")
+    return parser
+
+
+def cmd_run(args) -> int:
+    config = SMTConfig(
+        n_threads=args.threads,
+        fetch_policy=args.policy,
+        fetch_threads=args.num1,
+        fetch_per_thread=args.num2,
+        issue_policy=args.issue,
+        bigq=args.bigq,
+        itag=args.itag,
+        smt_pipeline=not args.superscalar,
+        perfect_branch_prediction=args.perfect_bp,
+    )
+    sim = Simulator(config, standard_mix(args.threads, args.rotation))
+    result = sim.run(warmup_cycles=args.warmup, measure_cycles=args.cycles)
+    print(f"configuration : {config.scheme_name}, {args.threads} thread(s)"
+          f"{' (superscalar pipeline)' if args.superscalar else ''}")
+    print(f"cycles        : {result.cycles}")
+    print(f"committed     : {result.committed}")
+    print(f"IPC           : {result.ipc:.3f}")
+    print(f"useful fetch  : {result.useful_fetch_per_cycle:.3f} /cycle")
+    print(f"wrong-path    : {result.wrong_path_fetched_frac:.1%} fetched, "
+          f"{result.wrong_path_issued_frac:.1%} issued")
+    print(f"branch mpred  : {result.branch_mispredict_rate:.1%} "
+          f"(jumps {result.jump_mispredict_rate:.1%})")
+    print(f"IQ-full       : int {result.int_iq_full_frac:.1%}, "
+          f"fp {result.fp_iq_full_frac:.1%} "
+          f"(avg population {result.avg_queue_population:.1f})")
+    print(f"out-of-regs   : {result.out_of_registers_frac:.1%}")
+    print(f"caches        : I$ {result.icache.miss_rate:.1%}  "
+          f"D$ {result.dcache.miss_rate:.1%}  "
+          f"L2 {result.l2.miss_rate:.1%}  L3 {result.l3.miss_rate:.1%}")
+    per_thread = ", ".join(
+        f"t{tid}:{count}" for tid, count in
+        sorted(result.committed_per_thread.items())
+    )
+    print(f"per-thread    : {per_thread}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    if args.fast:
+        budget = RunBudget(warmup_cycles=1000, measure_cycles=8000,
+                           functional_warmup_instructions=30000, rotations=1)
+    elif args.full:
+        budget = RunBudget(warmup_cycles=4000, measure_cycles=40000,
+                           functional_warmup_instructions=120000, rotations=4)
+    else:
+        budget = RunBudget.from_environment()
+    names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        EXPERIMENTS[name](budget)
+        print()
+    return 0
+
+
+def cmd_workload(args) -> int:
+    profile = PROFILES[args.name]
+    program = generate_program(profile, seed=0)
+    print(f"{args.name}: {len(program)} static instructions, "
+          f"working set {profile.working_set // 1024} KiB "
+          f"({profile.access_pattern}), hot region "
+          f"{profile.hot_region // 1024} KiB")
+    if args.listing:
+        for line in program.listing().splitlines()[:40]:
+            print("  " + line)
+        return 0
+
+    from repro.isa.emulator import Emulator
+    emulator = Emulator(program)
+    counts = dict(cond=0, taken=0, mem=0, fp=0, calls=0, indirect=0)
+    n = args.instructions
+    for _ in range(n):
+        record = emulator.step()
+        instr = record.instr
+        if instr.is_cond_branch:
+            counts["cond"] += 1
+            counts["taken"] += record.taken
+        if instr.is_mem:
+            counts["mem"] += 1
+        if instr.is_fp:
+            counts["fp"] += 1
+        if instr.is_call:
+            counts["calls"] += 1
+        if instr.is_indirect:
+            counts["indirect"] += 1
+    print(f"dynamic mix over {n} instructions:")
+    print(f"  conditional branches : {counts['cond'] / n:.1%} "
+          f"(taken {counts['taken'] / max(counts['cond'], 1):.0%})")
+    print(f"  loads+stores         : {counts['mem'] / n:.1%}")
+    print(f"  FP arithmetic        : {counts['fp'] / n:.1%}")
+    print(f"  calls                : {counts['calls'] / n:.2%}")
+    print(f"  indirect jumps       : {counts['indirect'] / n:.2%}")
+    return 0
+
+
+def cmd_list(_args) -> int:
+    print("workloads   :", ", ".join(sorted(PROFILES)))
+    print("fetch       :", ", ".join(FETCH_POLICIES))
+    print("issue       :", ", ".join(ISSUE_POLICIES))
+    print("experiments :", ", ".join(sorted(EXPERIMENTS)), "+ all")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": cmd_run,
+        "experiment": cmd_experiment,
+        "workload": cmd_workload,
+        "list": cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""The SMT processor core — the paper's primary contribution.
+
+The core is an 8-wide, out-of-order, simultaneous multithreading pipeline
+(Figure 1/2 of the paper): shared fetch unit with configurable
+partitioning and thread-choice policies, register renaming onto shared
+physical register files, two 32-entry instruction queues, nine functional
+units, optimistic load-use scheduling with squash on miss/bank-conflict,
+and per-thread in-order retirement.
+"""
+
+from repro.core.config import SMTConfig
+from repro.core.simulator import Simulator, SimResult
+
+__all__ = ["SMTConfig", "Simulator", "SimResult"]

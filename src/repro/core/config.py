@@ -1,0 +1,158 @@
+"""Machine configuration: every knob the paper turns.
+
+Fetch schemes are named ``alg.num1.num2`` in the paper (e.g. RR.2.8 =
+round-robin priority, 2 threads per cycle, up to 8 instructions each);
+here ``fetch_policy`` is the *alg* part and ``fetch_threads``/
+``fetch_per_thread`` are *num1*/*num2*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+#: ICOUNT_BRCOUNT is the weighted combination the paper suggests as
+#: future work ("perhaps the best performance could be achieved from a
+#: weighted combination of them"); the rest are the paper's Section 5.2
+#: policies.
+FETCH_POLICIES = ("RR", "BRCOUNT", "MISSCOUNT", "ICOUNT", "IQPOSN",
+                  "ICOUNT_BRCOUNT")
+ISSUE_POLICIES = ("OLDEST", "OPT_LAST", "SPEC_LAST", "BRANCH_FIRST")
+SPECULATION_MODES = ("full", "no_pass_branch", "no_wrong_path")
+
+
+@dataclass
+class SMTConfig:
+    """Full machine configuration.  Defaults are the paper's baseline
+    (Section 2.1) with the RR.1.8 fetch scheme."""
+
+    # ---- contexts ----------------------------------------------------
+    n_threads: int = 8
+
+    # ---- fetch unit (Section 5) --------------------------------------
+    fetch_policy: str = "RR"
+    fetch_threads: int = 1        # num1: threads fetched per cycle
+    fetch_per_thread: int = 8     # num2: max instructions per thread
+    fetch_width: int = 8          # total instructions fetched per cycle
+    decode_width: int = 8
+    rename_width: int = 8
+    itag: bool = False            # early I-cache tag lookup (Section 5.3)
+
+    # ---- instruction queues (Sections 2.1, 5.3) ----------------------
+    iq_size: int = 32             # searchable entries per queue
+    bigq: bool = False            # double capacity, search only iq_size
+
+    # ---- issue (Section 6) -------------------------------------------
+    issue_policy: str = "OLDEST"
+    int_units: int = 6
+    ls_units: int = 4             # subset of the integer units
+    fp_units: int = 3
+    infinite_fus: bool = False    # Section 7 issue-bandwidth experiment
+    commit_width: int = 8
+
+    # ---- registers (Sections 2, 7) -----------------------------------
+    #: Renaming registers per file beyond the architectural
+    #: 32 * n_threads (the paper's default is 100).
+    excess_registers: int = 100
+    #: If set, overrides the per-file physical register count outright
+    #: (Figure 7 fixes 200 total and varies contexts).
+    phys_regs_total: Optional[int] = None
+
+    # ---- pipeline (Section 2, Figure 2) -------------------------------
+    #: True: the SMT pipeline with two register-read stages (mispredict
+    #: penalty 7, optimistic issue).  False: the conventional superscalar
+    #: pipeline (penalty 6, no optimistic squash) used as the baseline.
+    smt_pipeline: bool = True
+    #: Optimistic load-use scheduling (squash dependents on L1 miss or
+    #: bank conflict).  Only meaningful with the SMT pipeline; turning it
+    #: off schedules dependents conservatively at the 2-cycle load-use
+    #: distance (an ablation).
+    optimistic_issue: bool = True
+
+    # ---- branch prediction (Sections 2.1, 7) --------------------------
+    btb_entries: int = 256
+    btb_assoc: int = 4
+    pht_entries: int = 2048
+    history_bits: int = 11
+    ras_depth: int = 12
+    btb_thread_tags: bool = True      # ablation: phantom branches if False
+    shared_history: bool = False      # ablation: one global history register
+    perfect_branch_prediction: bool = False   # Section 7 experiment
+
+    # ---- speculation (Section 7) --------------------------------------
+    #: "full": normal speculative execution.
+    #: "no_pass_branch": instructions may not issue before an older
+    #:   branch of the same thread has issued.
+    #: "no_wrong_path": instructions wait 4 cycles after the preceding
+    #:   branch issues, guaranteeing no wrong-path instruction issues.
+    speculation: str = "full"
+
+    # ---- memory (Sections 2.1, 7) --------------------------------------
+    infinite_memory_bandwidth: bool = False
+    #: Bits of the address used for memory disambiguation (Section 2.1).
+    disambiguation_bits: int = 10
+
+    # ---- workload / run control ----------------------------------------
+    seed: int = 0
+
+    # --------------------------------------------------------------------
+    def __post_init__(self):
+        if not 1 <= self.n_threads <= 32:
+            raise ValueError("n_threads must be in 1..32")
+        if self.fetch_policy not in FETCH_POLICIES:
+            raise ValueError(f"unknown fetch policy {self.fetch_policy!r}")
+        if self.issue_policy not in ISSUE_POLICIES:
+            raise ValueError(f"unknown issue policy {self.issue_policy!r}")
+        if self.speculation not in SPECULATION_MODES:
+            raise ValueError(f"unknown speculation mode {self.speculation!r}")
+        if self.fetch_threads < 1 or self.fetch_per_thread < 1:
+            raise ValueError("fetch partitioning values must be positive")
+        if self.ls_units > self.int_units:
+            raise ValueError("load/store units are a subset of integer units")
+        if self.phys_regs_total is not None:
+            if self.phys_regs_total < 32 * self.n_threads + 1:
+                raise ValueError(
+                    "phys_regs_total must exceed the architectural registers"
+                )
+
+    # --------------------------------------------------------------------
+    @property
+    def scheme_name(self) -> str:
+        """The paper's alg.num1.num2 name for the fetch scheme."""
+        return f"{self.fetch_policy}.{self.fetch_threads}.{self.fetch_per_thread}"
+
+    @property
+    def physical_registers(self) -> int:
+        """Physical registers per file (integer and FP each)."""
+        if self.phys_regs_total is not None:
+            return self.phys_regs_total
+        return 32 * self.n_threads + self.excess_registers
+
+    @property
+    def iq_capacity(self) -> int:
+        """Total entries per queue (BIGQ doubles capacity)."""
+        return self.iq_size * 2 if self.bigq else self.iq_size
+
+    @property
+    def exec_offset(self) -> int:
+        """Issue-to-execute distance in cycles: two register-read stages
+        on the SMT pipeline, one on the conventional pipeline."""
+        return 3 if self.smt_pipeline else 2
+
+    @property
+    def misfetch_penalty(self) -> int:
+        """Cycles of fetch lost when a taken branch's target is only
+        available at decode (+1 with the ITAG front-end stage)."""
+        return 2 + (1 if self.itag else 0)
+
+    def with_options(self, **kwargs) -> "SMTConfig":
+        """A copy of this config with fields replaced."""
+        return replace(self, **kwargs)
+
+
+def scheme(policy: str, num1: int, num2: int, **kwargs) -> SMTConfig:
+    """Build a config from the paper's alg.num1.num2 fetch-scheme name."""
+    return SMTConfig(
+        fetch_policy=policy, fetch_threads=num1, fetch_per_thread=num2, **kwargs
+    )

@@ -1,0 +1,163 @@
+"""Distribution analytics: histograms of per-instruction timing.
+
+:class:`Histogram` is a small bucketed-counts container with mean,
+percentiles, and an ASCII rendering.  :class:`MetricsCollector` attaches
+to a live simulator (via the commit listener) and accumulates the
+distributions that explain SMT behaviour:
+
+* queue residency (dispatch -> issue): how long instructions wait —
+  the quantity ICOUNT minimises;
+* pipeline residency (dispatch -> commit): how long physical registers
+  are held;
+* load-to-use delay and load-miss latency;
+* per-thread commit share (fairness).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.core.simulator import Simulator
+from repro.core.uop import Uop
+
+
+class Histogram:
+    """Bucketed integer-sample histogram with summary statistics."""
+
+    def __init__(self, name: str, bucket_width: int = 1,
+                 max_buckets: int = 256):
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        self.name = name
+        self.bucket_width = bucket_width
+        self.max_buckets = max_buckets
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def add(self, value: int) -> None:
+        bucket = min(value // self.bucket_width, self.max_buckets - 1)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> int:
+        """Approximate q-th percentile (bucket lower edge)."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.count:
+            return 0
+        threshold = math.ceil(self.count * q / 100)
+        running = 0
+        for bucket in sorted(self.buckets):
+            running += self.buckets[bucket]
+            if running >= threshold:
+                return bucket * self.bucket_width
+        return (max(self.buckets)) * self.bucket_width
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "Histogram") -> None:
+        if other.bucket_width != self.bucket_width:
+            raise ValueError("bucket widths differ")
+        for bucket, n in other.buckets.items():
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + n
+        self.count += other.count
+        self.total += other.total
+        for attr in ("min", "max"):
+            mine, theirs = getattr(self, attr), getattr(other, attr)
+            if theirs is not None:
+                if mine is None:
+                    setattr(self, attr, theirs)
+                else:
+                    setattr(self, attr,
+                            min(mine, theirs) if attr == "min"
+                            else max(mine, theirs))
+
+    # ------------------------------------------------------------------
+    def render(self, width: int = 40, max_rows: int = 12) -> str:
+        """ASCII bar rendering of the densest buckets (in order)."""
+        if not self.count:
+            return f"{self.name}: (no samples)"
+        lines = [
+            f"{self.name}: n={self.count} mean={self.mean:.1f} "
+            f"min={self.min} p50={self.percentile(50)} "
+            f"p90={self.percentile(90)} p99={self.percentile(99)} "
+            f"max={self.max}"
+        ]
+        shown = sorted(self.buckets)[:max_rows]
+        peak = max(self.buckets[b] for b in shown)
+        for bucket in shown:
+            n = self.buckets[bucket]
+            bar = "#" * max(1, round(n / peak * width))
+            low = bucket * self.bucket_width
+            high = low + self.bucket_width - 1
+            label = f"{low}" if self.bucket_width == 1 else f"{low}-{high}"
+            lines.append(f"  {label:>9s} {n:>7d} {bar}")
+        hidden = len(self.buckets) - len(shown)
+        if hidden > 0:
+            lines.append(f"  ... {hidden} more buckets")
+        return "\n".join(lines)
+
+
+class MetricsCollector:
+    """Accumulates timing distributions from a live simulator."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.queue_wait = Histogram("queue wait (dispatch->issue)", 1)
+        self.residency = Histogram("pipeline residency (dispatch->commit)", 2)
+        self.exec_to_commit = Histogram("completion wait (done->commit)", 1)
+        self.load_latency = Histogram("load exec->data latency", 2)
+        self.commits_per_thread: Dict[int, int] = {}
+        self._previous = sim.commit_listener
+        sim.commit_listener = self._on_commit
+
+    def _on_commit(self, uop: Uop) -> None:
+        if self._previous is not None:
+            self._previous(uop)
+        cycle = self.sim.cycle
+        if uop.issue_c >= 0 and uop.dispatch_c >= 0:
+            self.queue_wait.add(uop.issue_c - uop.dispatch_c)
+        if uop.dispatch_c >= 0:
+            self.residency.add(cycle - uop.dispatch_c)
+        if uop.complete_c >= 0:
+            self.exec_to_commit.add(max(0, cycle - uop.complete_c))
+        if uop.is_load and uop.exec_c >= 0 and uop.complete_c >= uop.exec_c:
+            self.load_latency.add(uop.complete_c - uop.exec_c)
+        self.commits_per_thread[uop.tid] = (
+            self.commits_per_thread.get(uop.tid, 0) + 1
+        )
+
+    def detach(self) -> None:
+        self.sim.commit_listener = self._previous
+
+    # ------------------------------------------------------------------
+    def fairness(self) -> float:
+        """Jain's fairness index over per-thread commit counts."""
+        counts = list(self.commits_per_thread.values())
+        if not counts:
+            return 1.0
+        total = sum(counts)
+        squares = sum(c * c for c in counts)
+        return (total * total) / (len(counts) * squares) if squares else 1.0
+
+    def report(self) -> str:
+        parts = [
+            self.queue_wait.render(),
+            self.residency.render(),
+            self.exec_to_commit.render(),
+            self.load_latency.render(),
+            f"fairness (Jain): {self.fairness():.3f} over "
+            f"{len(self.commits_per_thread)} thread(s)",
+        ]
+        return "\n\n".join(parts)

@@ -1,0 +1,158 @@
+"""Register renaming onto shared physical register files (Section 2).
+
+Thread-specific logical registers map onto one completely shared physical
+file per type (integer and FP).  The pool holds ``32 * n_threads``
+architectural registers plus ``excess`` renaming registers.  A physical
+register is allocated when an instruction with a destination renames,
+and the *previous* mapping of that logical register is freed when the
+instruction commits (or the allocation is undone if it squashes).
+
+Readiness is a cycle number per physical register: the wakeup time the
+producer advertised at issue.  ``OPTIMISTIC`` producers (loads issued
+before hit/miss is known) may later *retract* their wakeup, squashing
+consumers (see :mod:`repro.core.execute`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.uop import Uop
+from repro.isa.instructions import RegFile
+
+#: Readiness sentinel: "not ready until retracted/someone sets it".
+NEVER = 1 << 60
+
+
+class RegisterFile:
+    """One shared physical register file (readiness + free list)."""
+
+    def __init__(self, n_threads: int, physical: int):
+        architectural = 32 * n_threads
+        if physical <= architectural:
+            raise ValueError(
+                f"need more than {architectural} physical registers, got {physical}"
+            )
+        self.physical = physical
+        self.n_threads = n_threads
+        #: ready[p] = first cycle p's value is available to consumers.
+        self.ready: List[int] = [0] * physical
+        #: producer[p] = uop currently computing p (None once confirmed).
+        self.producer: List[Optional[Uop]] = [None] * physical
+        # Architectural registers p = tid*32 + logical start mapped & ready.
+        self.maps: List[List[int]] = [
+            [tid * 32 + i for i in range(32)] for tid in range(n_threads)
+        ]
+        self.free_list: List[int] = list(range(architectural, physical))
+
+    # ------------------------------------------------------------------
+    @property
+    def free_count(self) -> int:
+        return len(self.free_list)
+
+    def allocate(self) -> Optional[int]:
+        if not self.free_list:
+            return None
+        preg = self.free_list.pop()
+        self.ready[preg] = NEVER
+        self.producer[preg] = None
+        return preg
+
+    def release(self, preg: int) -> None:
+        self.free_list.append(preg)
+
+    def lookup(self, tid: int, logical: int) -> int:
+        return self.maps[tid][logical]
+
+
+class Renamer:
+    """The rename stage: map lookups, allocation, rollback."""
+
+    def __init__(self, n_threads: int, physical_per_file: int):
+        self.int_file = RegisterFile(n_threads, physical_per_file)
+        self.fp_file = RegisterFile(n_threads, physical_per_file)
+
+    def file_for(self, is_fp: bool) -> RegisterFile:
+        return self.fp_file if is_fp else self.int_file
+
+    # ------------------------------------------------------------------
+    def rename(self, uop: Uop) -> bool:
+        """Rename ``uop``'s sources and destination.
+
+        Returns False (leaving no side effects) if no physical register
+        is free for the destination — the out-of-registers stall.
+        """
+        instr = uop.instr
+        srcs: List[Tuple[int, bool]] = []
+        for logical, regfile in instr.sources():
+            is_fp = regfile is RegFile.FP
+            rf = self.file_for(is_fp)
+            srcs.append((rf.lookup(uop.tid, logical), is_fp))
+        if instr.rd is not None:
+            dest_is_fp = instr.rd_file is RegFile.FP
+            rf = self.file_for(dest_is_fp)
+            preg = rf.allocate()
+            if preg is None:
+                return False
+            uop.dest_preg = preg
+            uop.dest_is_fp = dest_is_fp
+            uop.old_preg = rf.lookup(uop.tid, instr.rd)
+            rf.maps[uop.tid][instr.rd] = preg
+            rf.producer[preg] = uop
+        uop.src_pregs = tuple(srcs)
+        return True
+
+    # ------------------------------------------------------------------
+    def commit(self, uop: Uop) -> None:
+        """Free the previous mapping of the destination register."""
+        if uop.dest_preg is not None:
+            self.file_for(uop.dest_is_fp).release(uop.old_preg)
+
+    def rollback(self, uop: Uop) -> None:
+        """Undo ``uop``'s rename (squash path; call in reverse program
+        order so mappings unwind correctly)."""
+        if uop.dest_preg is not None:
+            rf = self.file_for(uop.dest_is_fp)
+            rf.maps[uop.tid][uop.instr.rd] = uop.old_preg
+            rf.producer[uop.dest_preg] = None
+            rf.release(uop.dest_preg)
+            uop.dest_preg = None
+
+    # ------------------------------------------------------------------
+    def sources_ready(self, uop: Uop, cycle: int) -> bool:
+        int_ready = self.int_file.ready
+        fp_ready = self.fp_file.ready
+        for preg, is_fp in uop.src_pregs:
+            if (fp_ready[preg] if is_fp else int_ready[preg]) > cycle:
+                return False
+        return True
+
+    def set_wakeup(self, uop: Uop, ready_cycle: int) -> None:
+        if uop.dest_preg is not None:
+            self.file_for(uop.dest_is_fp).ready[uop.dest_preg] = ready_cycle
+
+    def retract_wakeup(self, uop: Uop) -> None:
+        if uop.dest_preg is not None:
+            self.file_for(uop.dest_is_fp).ready[uop.dest_preg] = NEVER
+
+    def confirm_producer(self, uop: Uop) -> None:
+        """Mark the destination as no longer speculative-in-flight."""
+        if uop.dest_preg is not None:
+            self.file_for(uop.dest_is_fp).producer[uop.dest_preg] = None
+
+    # ------------------------------------------------------------------
+    def check_conservation(self) -> bool:
+        """Invariant: free + mapped + in-flight = physical (per file).
+
+        Used by tests; every physical register must be accounted for:
+        on the free list, or reachable as a current mapping or as some
+        in-flight uop's old mapping.
+        """
+        for rf in (self.int_file, self.fp_file):
+            mapped = {p for tmap in rf.maps for p in tmap}
+            free = set(rf.free_list)
+            if mapped & free:
+                return False
+            if len(rf.free_list) != len(free):
+                return False  # duplicate frees
+        return True

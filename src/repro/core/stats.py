@@ -1,0 +1,117 @@
+"""Statistics: every metric the paper reports (Tables 3 and 4, plus the
+fetch/issue accounting used throughout Sections 4-7).
+
+Counters accumulate only while measurement is enabled, so a warmup
+period can populate caches and predictors without polluting results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class Stats:
+    """Raw event counters plus occupancy accumulators."""
+
+    cycles: int = 0
+    committed: int = 0                 # useful (correct-path) instructions
+
+    # Fetch.
+    fetched_total: int = 0
+    fetched_wrong_path: int = 0
+    fetch_cycles_active: int = 0       # cycles with >= 1 instruction fetched
+    icache_miss_stall_events: int = 0
+
+    # Issue.
+    issued_total: int = 0
+    issued_wrong_path: int = 0
+    squashed_optimistic: int = 0       # optimistically issued then squashed
+
+    # Queues.
+    int_iq_full_cycles: int = 0
+    fp_iq_full_cycles: int = 0
+    queue_population_sum: int = 0      # combined, sampled once per cycle
+
+    # Renaming.
+    out_of_registers_cycles: int = 0
+
+    # Branching.
+    cond_branches_resolved: int = 0
+    cond_branch_mispredicts: int = 0
+    jumps_resolved: int = 0            # indirect jumps + returns
+    jump_mispredicts: int = 0
+
+    # Per-thread commit counts (per-benchmark visibility).
+    committed_per_thread: Dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def wrong_path_fetched_frac(self) -> float:
+        return (
+            self.fetched_wrong_path / self.fetched_total
+            if self.fetched_total else 0.0
+        )
+
+    @property
+    def wrong_path_issued_frac(self) -> float:
+        return (
+            self.issued_wrong_path / self.issued_total
+            if self.issued_total else 0.0
+        )
+
+    @property
+    def squashed_optimistic_frac(self) -> float:
+        return (
+            self.squashed_optimistic / self.issued_total
+            if self.issued_total else 0.0
+        )
+
+    @property
+    def useful_fetch_per_cycle(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return (self.fetched_total - self.fetched_wrong_path) / self.cycles
+
+    @property
+    def fetch_per_cycle(self) -> float:
+        return self.fetched_total / self.cycles if self.cycles else 0.0
+
+    @property
+    def avg_queue_population(self) -> float:
+        return self.queue_population_sum / self.cycles if self.cycles else 0.0
+
+    @property
+    def int_iq_full_frac(self) -> float:
+        return self.int_iq_full_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def fp_iq_full_frac(self) -> float:
+        return self.fp_iq_full_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def out_of_registers_frac(self) -> float:
+        return self.out_of_registers_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def branch_mispredict_rate(self) -> float:
+        return (
+            self.cond_branch_mispredicts / self.cond_branches_resolved
+            if self.cond_branches_resolved else 0.0
+        )
+
+    @property
+    def jump_mispredict_rate(self) -> float:
+        return (
+            self.jump_mispredicts / self.jumps_resolved
+            if self.jumps_resolved else 0.0
+        )
+
+    def mpki(self, misses: int) -> float:
+        """Misses per thousand committed instructions."""
+        return 1000.0 * misses / self.committed if self.committed else 0.0

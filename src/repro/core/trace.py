@@ -1,0 +1,192 @@
+"""Pipeline tracing: capture per-instruction stage timing and render a
+text "pipeview" (in the spirit of gem5's pipeline viewer / Konata).
+
+Attach a :class:`PipelineTracer` to a simulator before running::
+
+    sim = Simulator(config, programs)
+    tracer = PipelineTracer(sim, max_records=400)
+    for _ in range(300):
+        sim.step()
+    print(tracer.render(start_cycle=0, end_cycle=60))
+
+Each committed (and, optionally, squashed) instruction becomes one row;
+columns are cycles.  Stage letters:
+
+====  =========================================
+F     fetch
+D     decode
+n     rename / dispatch into an instruction queue
+.     waiting in the queue
+I     issue
+-     in flight to the execute stage
+E     execute (first execute-stage event)
+=     completing (multi-cycle latency / memory)
+W     ready to commit (register write done)
+C     commit
+x     squashed
+====  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.simulator import Simulator
+from repro.core.uop import Uop
+
+
+@dataclass
+class TraceRecord:
+    """Timing snapshot of one dynamic instruction."""
+
+    tid: int
+    seq: int
+    pc: int
+    text: str
+    wrong_path: bool
+    squashed: bool
+    fetch_c: int
+    decode_c: int
+    dispatch_c: int
+    issue_c: int
+    exec_c: int
+    complete_c: int
+    commit_c: int   # -1 for squashed instructions
+
+    @classmethod
+    def from_uop(cls, uop: Uop, commit_cycle: int,
+                 squashed: bool = False) -> "TraceRecord":
+        return cls(
+            tid=uop.tid, seq=uop.seq, pc=uop.pc, text=str(uop.instr),
+            wrong_path=uop.wrong_path, squashed=squashed,
+            fetch_c=uop.fetch_c, decode_c=uop.decode_c,
+            dispatch_c=uop.dispatch_c, issue_c=uop.issue_c,
+            exec_c=uop.exec_c, complete_c=uop.complete_c,
+            commit_c=commit_cycle,
+        )
+
+    def last_cycle(self) -> int:
+        return max(self.fetch_c, self.decode_c, self.dispatch_c,
+                   self.issue_c, self.exec_c, self.complete_c,
+                   self.commit_c)
+
+    def lane(self, start: int, end: int) -> str:
+        """Render this instruction's stage occupancy for [start, end)."""
+        cells = []
+        for cycle in range(start, end):
+            cells.append(self._cell(cycle))
+        return "".join(cells)
+
+    def _cell(self, cycle: int) -> str:
+        if cycle < self.fetch_c:
+            return " "
+        if cycle == self.fetch_c:
+            return "F"
+        if cycle == self.decode_c:
+            return "D"
+        if cycle == self.dispatch_c:
+            return "n"
+        if self.squashed and cycle > self.last_cycle():
+            return " "
+        if self.squashed and cycle == self.last_cycle():
+            return "x"
+        if self.issue_c >= 0 and cycle == self.issue_c:
+            return "I"
+        if self.issue_c >= 0 and self.exec_c >= 0 and \
+                self.issue_c < cycle < self.exec_c:
+            return "-"
+        if self.exec_c >= 0 and cycle == self.exec_c:
+            return "E"
+        if self.exec_c >= 0 and self.complete_c > self.exec_c and \
+                self.exec_c < cycle <= self.complete_c:
+            return "="
+        if self.commit_c >= 0 and cycle == self.commit_c:
+            return "C"
+        if self.commit_c >= 0 and cycle > self.commit_c:
+            return " "
+        if self.dispatch_c >= 0 and cycle > self.dispatch_c and (
+                self.issue_c < 0 or cycle < self.issue_c):
+            return "."
+        if self.complete_c >= 0 and self.complete_c < cycle and (
+                self.commit_c < 0 or cycle < self.commit_c):
+            return "W"
+        return " "
+
+
+class PipelineTracer:
+    """Collects TraceRecords from a live simulator."""
+
+    def __init__(self, sim: Simulator, max_records: int = 2000,
+                 include_squashed: bool = True):
+        self.sim = sim
+        self.max_records = max_records
+        self.include_squashed = include_squashed
+        self.records: List[TraceRecord] = []
+        self._previous_commit_listener = sim.commit_listener
+        sim.commit_listener = self._on_commit
+        if include_squashed:
+            self._previous_squash_listener = getattr(
+                sim, "squash_listener", None
+            )
+            sim.squash_listener = self._on_squash
+
+    # ------------------------------------------------------------------
+    def _on_commit(self, uop: Uop) -> None:
+        if self._previous_commit_listener is not None:
+            self._previous_commit_listener(uop)
+        if len(self.records) < self.max_records:
+            self.records.append(
+                TraceRecord.from_uop(uop, commit_cycle=self.sim.cycle)
+            )
+
+    def _on_squash(self, uop: Uop) -> None:
+        if len(self.records) < self.max_records:
+            self.records.append(
+                TraceRecord.from_uop(uop, commit_cycle=-1, squashed=True)
+            )
+
+    def detach(self) -> None:
+        self.sim.commit_listener = self._previous_commit_listener
+        if self.include_squashed:
+            self.sim.squash_listener = None
+
+    # ------------------------------------------------------------------
+    def window(self, start_cycle: int, end_cycle: int,
+               tid: Optional[int] = None) -> List[TraceRecord]:
+        out = [
+            r for r in self.records
+            if r.fetch_c < end_cycle and r.last_cycle() >= start_cycle
+            and (tid is None or r.tid == tid)
+        ]
+        out.sort(key=lambda r: (r.fetch_c, r.tid, r.seq))
+        return out
+
+    def render(self, start_cycle: int, end_cycle: int,
+               tid: Optional[int] = None, max_rows: int = 64) -> str:
+        """Text pipeview for the cycle window."""
+        rows = self.window(start_cycle, end_cycle, tid)[:max_rows]
+        width = end_cycle - start_cycle
+        ruler_top = "".join(
+            str((start_cycle + i) // 10 % 10) if (start_cycle + i) % 5 == 0
+            else " "
+            for i in range(width)
+        )
+        ruler = "".join(str((start_cycle + i) % 10) for i in range(width))
+        head = f"{'thread:pc':<14s} {'instruction':<24s} "
+        lines = [
+            head + ruler_top,
+            " " * len(head) + ruler,
+        ]
+        for r in rows:
+            label = f"t{r.tid}:{r.pc:#x}"
+            wp = "*" if r.wrong_path else " "
+            lines.append(
+                f"{label:<14s}{wp}{r.text[:23]:<24s}"
+                + r.lane(start_cycle, end_cycle)
+            )
+        lines.append("")
+        lines.append("F fetch  D decode  n dispatch  . queued  I issue  "
+                     "- regread  E exec  = completing  C commit  x squashed  "
+                     "* wrong-path")
+        return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""The dynamic instruction record (uop) that flows down the pipeline.
+
+A uop is created at fetch and lives until it commits or is squashed.
+Plain attributes + ``__slots__`` keep per-instruction overhead low — the
+simulator creates hundreds of thousands of these per run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.branch.predictor import Prediction
+from repro.isa.instructions import Instruction
+
+# Pipeline states.
+S_FETCHED = 0    # in the fetch buffer
+S_DECODED = 1    # decoded, waiting for rename
+S_QUEUED = 2     # renamed and in an instruction queue, waiting to issue
+S_ISSUED = 3     # issued to a functional unit
+S_DONE = 4       # executed; waiting to commit in order
+S_COMMITTED = 5
+S_SQUASHED = 6
+
+STATE_NAMES = {
+    S_FETCHED: "fetched",
+    S_DECODED: "decoded",
+    S_QUEUED: "queued",
+    S_ISSUED: "issued",
+    S_DONE: "done",
+    S_COMMITTED: "committed",
+    S_SQUASHED: "squashed",
+}
+
+
+class Uop:
+    """One in-flight dynamic instruction."""
+
+    __slots__ = (
+        "tid", "seq", "pc", "instr", "wrong_path",
+        # oracle truth (None on wrong paths)
+        "actual_taken", "actual_target", "eff_addr",
+        # branch prediction state
+        "prediction", "mispredicted",
+        # renaming
+        "dest_preg", "old_preg", "src_pregs", "dest_is_fp",
+        # memory
+        "mem_key", "dcache_hit",
+        # timing
+        "fetch_c", "decode_c", "dispatch_c", "issue_c", "exec_c",
+        "complete_c", "commit_ready_c",
+        # issue bookkeeping
+        "state", "optimistic", "squash_count", "iq_freed",
+        # cached static predicates (attribute lookups beat properties here)
+        "is_load", "is_store", "is_control", "is_cond_branch", "is_fp_op",
+        "latency",
+    )
+
+    def __init__(
+        self,
+        tid: int,
+        seq: int,
+        pc: int,
+        instr: Instruction,
+        wrong_path: bool,
+        actual_taken: Optional[bool] = None,
+        actual_target: Optional[int] = None,
+        eff_addr: Optional[int] = None,
+    ):
+        self.tid = tid
+        self.seq = seq
+        self.pc = pc
+        self.instr = instr
+        self.wrong_path = wrong_path
+        self.actual_taken = actual_taken
+        self.actual_target = actual_target
+        self.eff_addr = eff_addr
+        self.prediction: Optional[Prediction] = None
+        self.mispredicted = False
+        self.dest_preg: Optional[int] = None
+        self.old_preg: Optional[int] = None
+        self.src_pregs: Tuple[Tuple[int, bool], ...] = ()
+        self.dest_is_fp = False
+        self.mem_key: Optional[int] = None
+        self.dcache_hit: Optional[bool] = None
+        self.fetch_c = -1
+        self.decode_c = -1
+        self.dispatch_c = -1
+        self.issue_c = -1
+        self.exec_c = -1
+        self.complete_c = -1
+        self.commit_ready_c = -1
+        self.state = S_FETCHED
+        self.optimistic = False
+        self.squash_count = 0   # times returned to the queue (optimistic squash)
+        self.iq_freed = False
+        self.is_load = instr.is_load
+        self.is_store = instr.is_store
+        self.is_control = instr.is_control
+        self.is_cond_branch = instr.is_cond_branch
+        self.is_fp_op = instr.is_fp
+        self.latency = instr.latency
+
+    def __repr__(self) -> str:
+        wp = " WP" if self.wrong_path else ""
+        return (
+            f"Uop(t{self.tid} #{self.seq} pc={self.pc:#x} {self.instr!s}"
+            f" {STATE_NAMES[self.state]}{wp})"
+        )

@@ -1,0 +1,26 @@
+"""Experiment harness: every table and figure of the paper's evaluation.
+
+Each experiment function runs the relevant configurations over the
+multiprogrammed workload (averaging several benchmark rotations, as the
+paper averages 8 runs per data point), returns structured rows, and can
+print them in the paper's format.  The benchmarks under ``benchmarks/``
+call these functions and assert the qualitative shapes.
+"""
+
+from repro.experiments.runner import (
+    ExperimentPoint,
+    RunBudget,
+    average_runs,
+    run_config,
+)
+from repro.experiments import figures, tables, bottlenecks
+
+__all__ = [
+    "ExperimentPoint",
+    "RunBudget",
+    "average_runs",
+    "run_config",
+    "figures",
+    "tables",
+    "bottlenecks",
+]

@@ -1,0 +1,128 @@
+"""Result export and text charts.
+
+``to_rows`` / ``write_csv`` / ``to_json`` serialise experiment data for
+external analysis; :func:`ascii_chart` renders figure lines as a text
+plot (the repository has no plotting dependencies by design).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Sequence, Union
+
+from repro.experiments.runner import ExperimentPoint
+
+FigureData = Dict[str, List[ExperimentPoint]]
+
+#: SimResult scalar attributes exported per point.
+EXPORTED_METRICS = (
+    "ipc",
+    "useful_fetch_per_cycle",
+    "wrong_path_fetched_frac",
+    "wrong_path_issued_frac",
+    "branch_mispredict_rate",
+    "int_iq_full_frac",
+    "fp_iq_full_frac",
+    "avg_queue_population",
+    "out_of_registers_frac",
+)
+
+
+def to_rows(data: FigureData) -> List[Dict[str, Union[str, int, float]]]:
+    """Flatten figure data into one dict per (line, thread-count)."""
+    rows = []
+    for label, points in data.items():
+        for point in points:
+            row: Dict[str, Union[str, int, float]] = {
+                "line": label,
+                "threads": point.n_threads,
+            }
+            for metric in EXPORTED_METRICS:
+                row[metric] = round(point.metric(metric), 6)
+            for cache in ("icache", "dcache", "l2", "l3"):
+                row[f"{cache}_miss_rate"] = round(
+                    point.cache_metric(cache, "miss_rate"), 6
+                )
+            rows.append(row)
+    return rows
+
+
+def write_csv(data: FigureData, path: str) -> None:
+    rows = to_rows(data)
+    if not rows:
+        raise ValueError("no data to export")
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def csv_text(data: FigureData) -> str:
+    rows = to_rows(data)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(rows[0]))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def to_json(data: FigureData, indent: int = 2) -> str:
+    return json.dumps(to_rows(data), indent=indent)
+
+
+def ascii_chart(
+    data: FigureData,
+    metric: str = "ipc",
+    height: int = 12,
+    width_per_point: int = 8,
+    title: str = "",
+) -> str:
+    """Plot one metric of several figure lines as a text chart.
+
+    The x axis is thread count; each line gets a letter marker.
+    """
+    labels = list(data)
+    if not labels:
+        raise ValueError("no lines to chart")
+    threads = sorted({p.n_threads for pts in data.values() for p in pts})
+    series = {
+        label: {p.n_threads: p.metric(metric) for p in points}
+        for label, points in data.items()
+    }
+    peak = max(v for s in series.values() for v in s.values())
+    peak = peak or 1.0
+
+    markers = "ABCDEFGHJKLMNP"
+    grid = [[" "] * (len(threads) * width_per_point) for _ in range(height)]
+    for li, label in enumerate(labels):
+        marker = markers[li % len(markers)]
+        for xi, t in enumerate(threads):
+            value = series[label].get(t)
+            if value is None:
+                continue
+            row = height - 1 - min(
+                height - 1, int(value / peak * (height - 1) + 0.5)
+            )
+            col = xi * width_per_point + width_per_point // 2
+            # Nudge right when two lines land on the same cell.
+            while grid[row][col] != " " and col < len(grid[row]) - 1:
+                col += 1
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for ri, row in enumerate(grid):
+        yval = peak * (height - 1 - ri) / (height - 1)
+        lines.append(f"{yval:6.2f} |" + "".join(row))
+    axis = "-" * (len(threads) * width_per_point)
+    lines.append("       +" + axis)
+    xlabels = "".join(
+        f"{t:^{width_per_point}d}" for t in threads
+    )
+    lines.append("        " + xlabels + "  (threads)")
+    for li, label in enumerate(labels):
+        lines.append(f"        {markers[li % len(markers)]} = {label}")
+    return "\n".join(lines)

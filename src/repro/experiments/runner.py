@@ -1,0 +1,105 @@
+"""Shared machinery for running experiment configurations.
+
+The paper composes every data point from 8 runs, each assigning a
+different combination of benchmarks to the hardware contexts, and
+simulates hundreds of millions of instructions.  We reproduce the
+rotation and average a configurable number of runs; run lengths are set
+by a :class:`RunBudget` that scales down for quick checks (set the
+``REPRO_FAST`` environment variable) and up for final numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import SMTConfig
+from repro.core.simulator import SimResult, Simulator
+from repro.workloads.mixes import standard_mix
+
+
+@dataclass(frozen=True)
+class RunBudget:
+    """How much simulation to spend per data point."""
+
+    warmup_cycles: int = 2000
+    measure_cycles: int = 15000
+    functional_warmup_instructions: int = 60000
+    rotations: int = 2
+
+    @classmethod
+    def from_environment(cls) -> "RunBudget":
+        """The default budget, honouring ``REPRO_FAST``/``REPRO_FULL``."""
+        if os.environ.get("REPRO_FAST"):
+            return cls(warmup_cycles=1000, measure_cycles=8000,
+                       functional_warmup_instructions=30000, rotations=1)
+        if os.environ.get("REPRO_FULL"):
+            return cls(warmup_cycles=4000, measure_cycles=40000,
+                       functional_warmup_instructions=120000, rotations=4)
+        return cls()
+
+
+@dataclass
+class ExperimentPoint:
+    """One averaged data point (the mean over workload rotations)."""
+
+    label: str
+    n_threads: int
+    ipc: float
+    results: List[SimResult] = field(repr=False, default_factory=list)
+
+    def metric(self, name: str) -> float:
+        """Average of any scalar SimResult attribute over the rotations."""
+        values = [getattr(r, name) for r in self.results]
+        return sum(values) / len(values)
+
+    def cache_metric(self, cache: str, attr: str) -> float:
+        values = [getattr(getattr(r, cache), attr) for r in self.results]
+        return sum(values) / len(values)
+
+
+def run_config(
+    config: SMTConfig,
+    budget: Optional[RunBudget] = None,
+    label: Optional[str] = None,
+) -> ExperimentPoint:
+    """Run one machine configuration over rotated workloads; average."""
+    budget = budget or RunBudget.from_environment()
+    results = []
+    for rotation in range(budget.rotations):
+        sim = Simulator(config, standard_mix(config.n_threads, rotation))
+        results.append(
+            sim.run(
+                warmup_cycles=budget.warmup_cycles,
+                measure_cycles=budget.measure_cycles,
+                functional_warmup_instructions=(
+                    budget.functional_warmup_instructions
+                ),
+            )
+        )
+    ipc = sum(r.ipc for r in results) / len(results)
+    return ExperimentPoint(
+        label=label or config.scheme_name,
+        n_threads=config.n_threads,
+        ipc=ipc,
+        results=results,
+    )
+
+
+def average_runs(points: List[ExperimentPoint]) -> float:
+    """Mean IPC over a list of points (convenience for summaries)."""
+    return sum(p.ipc for p in points) / len(points)
+
+
+def sweep_threads(
+    make_config: Callable[[int], SMTConfig],
+    thread_counts=(1, 2, 4, 6, 8),
+    budget: Optional[RunBudget] = None,
+    label: Optional[str] = None,
+) -> List[ExperimentPoint]:
+    """Run a config family across thread counts (a figure line)."""
+    return [
+        run_config(make_config(t), budget=budget, label=label)
+        for t in thread_counts
+    ]

@@ -1,0 +1,126 @@
+"""Parameter sensitivity sweeps — extensions beyond the paper's own
+experiments, in the spirit of its Section 7.
+
+The paper asserts (and we verify in ``bottlenecks.py``) that the
+improved architecture is insensitive to issue width, queue size, and
+memory bandwidth.  These sweeps chart *how* performance responds as
+each structure is scaled through its design space, which is what an
+architect adopting this simulator would ask next:
+
+* instruction queue size (8 → 64 entries),
+* branch predictor capacity (PHT 256 → 8192 entries),
+* return-stack depth (0 → 32, the xlisp recursion question),
+* D-cache MSHRs (1 → 32, memory-level parallelism),
+* hardware contexts at a fixed register budget (generalised Figure 7).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.config import SMTConfig, scheme
+from repro.experiments.runner import ExperimentPoint, RunBudget, run_config
+
+Sweep = List[Tuple[int, ExperimentPoint]]
+
+
+def _base(n_threads: int = 8, **overrides) -> SMTConfig:
+    return scheme("ICOUNT", 2, 8, n_threads=n_threads, **overrides)
+
+
+def queue_size_sweep(budget: Optional[RunBudget] = None,
+                     sizes=(8, 16, 32, 64),
+                     n_threads: int = 8) -> Sweep:
+    """IQ entries per queue.  The paper fixes 32; the sweep shows the
+    knee (too-small queues throttle, big ones buy little)."""
+    return [
+        (size,
+         run_config(_base(n_threads, iq_size=size), budget=budget,
+                    label=f"iq{size}"))
+        for size in sizes
+    ]
+
+
+def pht_size_sweep(budget: Optional[RunBudget] = None,
+                   sizes=(256, 1024, 2048, 8192),
+                   n_threads: int = 8) -> Sweep:
+    """Pattern history table entries (paper fixes 2K; doubling both
+    tables bought only ~2%)."""
+    return [
+        (size,
+         run_config(_base(n_threads, pht_entries=size), budget=budget,
+                    label=f"pht{size}"))
+        for size in sizes
+    ]
+
+
+def ras_depth_sweep(budget: Optional[RunBudget] = None,
+                    depths=(1, 4, 12, 32),
+                    n_threads: int = 8) -> Sweep:
+    """Per-context return-stack depth (paper fixes 12; xlisp's
+    recursion overflows shallow stacks)."""
+    return [
+        (depth,
+         run_config(_base(n_threads, ras_depth=depth), budget=budget,
+                    label=f"ras{depth}"))
+        for depth in depths
+    ]
+
+
+def mshr_sweep(budget: Optional[RunBudget] = None,
+               counts=(1, 4, 16, 32),
+               n_threads: int = 8) -> Sweep:
+    """D-cache miss-status registers: memory-level parallelism across
+    8 threads' miss streams."""
+    from repro.core.simulator import Simulator
+    from repro.memory.hierarchy import DCACHE_PARAMS
+    from repro.workloads.mixes import standard_mix
+    import dataclasses
+
+    budget = budget or RunBudget.from_environment()
+    out = []
+    for count in counts:
+        results = []
+        for rotation in range(budget.rotations):
+            config = _base(n_threads)
+            sim = Simulator(config, standard_mix(n_threads, rotation))
+            sim.hierarchy.dcache.params = dataclasses.replace(
+                DCACHE_PARAMS, mshrs=count
+            )
+            results.append(sim.run(
+                warmup_cycles=budget.warmup_cycles,
+                measure_cycles=budget.measure_cycles,
+                functional_warmup_instructions=(
+                    budget.functional_warmup_instructions
+                ),
+            ))
+        ipc = sum(r.ipc for r in results) / len(results)
+        out.append((count, ExperimentPoint(
+            label=f"mshr{count}", n_threads=n_threads, ipc=ipc,
+            results=results,
+        )))
+    return out
+
+
+def contexts_at_register_budget(budget: Optional[RunBudget] = None,
+                                total_registers: int = 264,
+                                thread_counts=(1, 2, 4, 6)) -> Sweep:
+    """Generalised Figure 7: the best context count for any register
+    budget (264 = 8 threads' architectural registers + 8)."""
+    out = []
+    for t in thread_counts:
+        if total_registers <= 32 * t:
+            continue
+        out.append((t, run_config(
+            _base(t, phys_regs_total=total_registers),
+            budget=budget, label=f"{total_registers}regs",
+        )))
+    return out
+
+
+def print_sweep(title: str, sweep: Sweep, unit: str = "") -> None:
+    print(title)
+    for value, point in sweep:
+        print(f"  {value:>6d}{unit}: {point.ipc:5.2f} IPC")
+    best = max(sweep, key=lambda item: item[1].ipc)
+    print(f"  best at {best[0]}{unit}")

@@ -1,0 +1,38 @@
+"""Instruction-set substrate for the SMT reproduction.
+
+This package defines a small load/store RISC instruction set (standing in
+for the Alpha ISA used by the paper), a two-pass assembler, a program image
+container, and a functional emulator.  The emulator provides the
+"oracle" stream of correct-path dynamic instructions that the timing core
+consumes; wrong-path fetch reads static instructions straight from the
+program image.
+"""
+
+from repro.isa.instructions import (
+    Instruction,
+    InstrClass,
+    Opcode,
+    RegFile,
+    latency_for,
+    INSTRUCTION_LATENCIES,
+)
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.program import DataSegment, Program, TEXT_BASE, DATA_BASE
+from repro.isa.emulator import Emulator, OracleRecord
+
+__all__ = [
+    "Instruction",
+    "InstrClass",
+    "Opcode",
+    "RegFile",
+    "latency_for",
+    "INSTRUCTION_LATENCIES",
+    "AssemblyError",
+    "assemble",
+    "DataSegment",
+    "Program",
+    "TEXT_BASE",
+    "DATA_BASE",
+    "Emulator",
+    "OracleRecord",
+]

@@ -1,0 +1,253 @@
+"""Functional emulator: the correct-path oracle.
+
+The timing core never computes values; it follows *predicted* paths and
+tracks dependences structurally.  What it needs from each correct-path
+dynamic instruction is exactly what the emulator provides in an
+:class:`OracleRecord`: the true next PC (so mispredictions can be detected
+and resolved at the execute stage) and the true effective address of memory
+operations (so the cache hierarchy sees the program's real access stream).
+
+The emulator is deterministic: same program, same sequence of records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import DATA_BASE, INSTR_BYTES, Program
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+
+
+def _to_signed(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value & _SIGN64 else value
+
+
+class OracleRecord:
+    """One correct-path dynamic instruction, as the timing core sees it."""
+
+    __slots__ = ("seq", "pc", "instr", "next_pc", "taken", "eff_addr")
+
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        instr: Instruction,
+        next_pc: int,
+        taken: bool,
+        eff_addr: Optional[int],
+    ):
+        self.seq = seq
+        self.pc = pc
+        self.instr = instr
+        self.next_pc = next_pc
+        self.taken = taken          # for control instructions
+        self.eff_addr = eff_addr    # for loads/stores
+
+    def __repr__(self) -> str:
+        return (
+            f"OracleRecord(seq={self.seq}, pc={self.pc:#x}, "
+            f"instr={self.instr!s}, next_pc={self.next_pc:#x})"
+        )
+
+
+class EmulatorError(Exception):
+    """Raised when architectural execution goes somewhere undefined."""
+
+
+class Emulator:
+    """Architectural interpreter for one program (one thread).
+
+    Use :meth:`step` to retrieve successive :class:`OracleRecord` objects.
+    ``halted`` becomes true after a ``halt`` instruction executes; stepping
+    a halted emulator raises :class:`EmulatorError`.  Workload programs are
+    written as infinite outer loops, so in normal simulation the emulator
+    never halts.
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.pc: int = program.entry
+        self.int_regs = [0] * 32
+        self.fp_regs = [0.0] * 32
+        # Runtime memory is an overlay over the program's initial data.
+        self._mem: Dict[int, int] = {}
+        self._fmem: Dict[int, float] = {}
+        self.halted = False
+        self.instret = 0  # architecturally retired instruction count
+        data = program.data
+        self._data_size = max(data.size, 8)
+
+    # ------------------------------------------------------------------
+    # Memory helpers.  Addresses are wrapped into the data region so that
+    # synthetic programs can never wander out of bounds; the *wrapped*
+    # address is what the cache hierarchy sees.
+    # ------------------------------------------------------------------
+    def _wrap(self, addr: int) -> int:
+        return DATA_BASE + ((addr - DATA_BASE) % self._data_size & ~0x7)
+
+    def read_word(self, addr: int) -> int:
+        addr = self._wrap(addr)
+        if addr in self._mem:
+            return self._mem[addr]
+        return self.program.data.read(addr)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self._mem[self._wrap(addr)] = value & _MASK64
+
+    def read_fp(self, addr: int) -> float:
+        addr = self._wrap(addr)
+        if addr in self._fmem:
+            return self._fmem[addr]
+        # Integer-initialised memory reads back as its numeric value.
+        return float(_to_signed(self.read_word(addr)))
+
+    def write_fp(self, addr: int, value: float) -> None:
+        self._fmem[self._wrap(addr)] = value
+
+    # ------------------------------------------------------------------
+    def step(self) -> OracleRecord:
+        """Execute one instruction; return its oracle record."""
+        if self.halted:
+            raise EmulatorError("stepping a halted emulator")
+        pc = self.pc
+        instr = self.program.fetch(pc)
+        if instr is None:
+            raise EmulatorError(f"architectural PC {pc:#x} outside text segment")
+
+        next_pc = pc + INSTR_BYTES
+        taken = False
+        eff_addr: Optional[int] = None
+        op = instr.opcode
+        ir = self.int_regs
+        fr = self.fp_regs
+
+        if op is Opcode.ADD:
+            result = ir[instr.rs1] + ir[instr.rs2]
+        elif op is Opcode.SUB:
+            result = ir[instr.rs1] - ir[instr.rs2]
+        elif op is Opcode.AND:
+            result = ir[instr.rs1] & ir[instr.rs2]
+        elif op is Opcode.OR:
+            result = ir[instr.rs1] | ir[instr.rs2]
+        elif op is Opcode.XOR:
+            result = ir[instr.rs1] ^ ir[instr.rs2]
+        elif op is Opcode.SLL:
+            result = ir[instr.rs1] << (ir[instr.rs2] & 63)
+        elif op is Opcode.SRL:
+            result = (ir[instr.rs1] & _MASK64) >> (ir[instr.rs2] & 63)
+        elif op is Opcode.SRA:
+            result = _to_signed(ir[instr.rs1]) >> (ir[instr.rs2] & 63)
+        elif op is Opcode.ADDI:
+            result = ir[instr.rs1] + instr.imm
+        elif op is Opcode.ANDI:
+            result = ir[instr.rs1] & instr.imm
+        elif op is Opcode.ORI:
+            result = ir[instr.rs1] | instr.imm
+        elif op is Opcode.XORI:
+            result = ir[instr.rs1] ^ instr.imm
+        elif op is Opcode.SLLI:
+            result = ir[instr.rs1] << (instr.imm & 63)
+        elif op is Opcode.SRLI:
+            result = (ir[instr.rs1] & _MASK64) >> (instr.imm & 63)
+        elif op is Opcode.LI:
+            result = instr.imm
+        elif op in (Opcode.MUL, Opcode.MULQ):
+            result = ir[instr.rs1] * ir[instr.rs2]
+        elif op is Opcode.CMPEQ:
+            result = int(ir[instr.rs1] == ir[instr.rs2])
+        elif op is Opcode.CMPLT:
+            result = int(_to_signed(ir[instr.rs1]) < _to_signed(ir[instr.rs2]))
+        elif op is Opcode.CMPLE:
+            result = int(_to_signed(ir[instr.rs1]) <= _to_signed(ir[instr.rs2]))
+        elif op is Opcode.CMOVZ:
+            # Non-destructive select: rd = rs1 == 0 ? rs2 : 0.  (The timing
+            # model only cares that cmov is a 2-cycle integer op.)
+            result = ir[instr.rs2] if ir[instr.rs1] == 0 else 0
+        elif op is Opcode.CMOVNZ:
+            result = ir[instr.rs2] if ir[instr.rs1] != 0 else 0
+        elif op is Opcode.FADD:
+            result = fr[instr.rs1] + fr[instr.rs2]
+        elif op is Opcode.FSUB:
+            result = fr[instr.rs1] - fr[instr.rs2]
+        elif op is Opcode.FMUL:
+            result = fr[instr.rs1] * fr[instr.rs2]
+        elif op is Opcode.FDIV or op is Opcode.FDIVD:
+            denom = fr[instr.rs2]
+            result = fr[instr.rs1] / denom if denom != 0.0 else 0.0
+        elif op is Opcode.FCVT:
+            result = float(int(fr[instr.rs1]))
+        elif op is Opcode.FMOV:
+            result = fr[instr.rs1]
+        elif op is Opcode.FCMP:
+            result = int(fr[instr.rs1] < fr[instr.rs2])
+        elif op is Opcode.LD:
+            eff_addr = self._wrap(ir[instr.rs1] + instr.imm)
+            result = self.read_word(eff_addr)
+        elif op is Opcode.FLD:
+            eff_addr = self._wrap(ir[instr.rs1] + instr.imm)
+            result = self.read_fp(eff_addr)
+        elif op is Opcode.ST:
+            eff_addr = self._wrap(ir[instr.rs1] + instr.imm)
+            self.write_word(eff_addr, ir[instr.rs2])
+            result = None
+        elif op is Opcode.FST:
+            eff_addr = self._wrap(ir[instr.rs1] + instr.imm)
+            self.write_fp(eff_addr, fr[instr.rs2])
+            result = None
+        elif op is Opcode.BEQZ:
+            taken = ir[instr.rs1] == 0
+            if taken:
+                next_pc = instr.target
+            result = None
+        elif op is Opcode.BNEZ:
+            taken = ir[instr.rs1] != 0
+            if taken:
+                next_pc = instr.target
+            result = None
+        elif op is Opcode.J:
+            taken = True
+            next_pc = instr.target
+            result = None
+        elif op is Opcode.JAL:
+            taken = True
+            result = pc + INSTR_BYTES  # return address into r31
+            next_pc = instr.target
+        elif op is Opcode.JR or op is Opcode.RET:
+            taken = True
+            next_pc = ir[instr.rs1] & _MASK64
+            if next_pc % INSTR_BYTES or not self.program.in_text(next_pc):
+                raise EmulatorError(
+                    f"indirect jump at {pc:#x} to invalid target {next_pc:#x}"
+                )
+            result = None
+        elif op is Opcode.NOP:
+            result = None
+        elif op is Opcode.HALT:
+            self.halted = True
+            result = None
+        else:  # pragma: no cover - exhaustive over Opcode
+            raise EmulatorError(f"unimplemented opcode {op}")
+
+        if instr.rd is not None and result is not None:
+            if instr.rd_file.name == "FP":
+                fr[instr.rd] = float(result)
+            elif instr.rd != 0:  # r0 is hardwired to zero
+                ir[instr.rd] = int(result) & _MASK64
+
+        record = OracleRecord(self.instret, pc, instr, next_pc, taken, eff_addr)
+        self.pc = next_pc
+        self.instret += 1
+        return record
+
+    # ------------------------------------------------------------------
+    def run(self, max_instructions: int = 1_000_000) -> int:
+        """Run until ``halt`` or the instruction budget; return instret."""
+        for _ in range(max_instructions):
+            if self.halted:
+                break
+            self.step()
+        return self.instret

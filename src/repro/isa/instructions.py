@@ -1,0 +1,286 @@
+"""Instruction definitions for the reproduction ISA.
+
+The ISA is a conventional 64-bit load/store RISC, deliberately close in
+spirit to the Alpha ISA the paper simulates: 32 integer registers, 32
+floating-point registers, 4-byte instructions, and the instruction-class
+latencies of Table 1 of the paper.
+
+Only the pieces of the ISA that matter to a timing model are represented:
+each static instruction knows its opcode, operand registers (and which
+register file each lives in), immediate, and branch target.  The functional
+emulator in :mod:`repro.isa.emulator` gives these instructions their
+semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class RegFile(enum.IntEnum):
+    """Which physical register file an operand register lives in."""
+
+    INT = 0
+    FP = 1
+
+
+class InstrClass(enum.IntEnum):
+    """Instruction classes; these determine latency (paper Table 1) and
+    which instruction queue / functional unit an instruction uses."""
+
+    INT_ALU = 0        # all other integer: latency 1
+    INT_MUL = 1        # integer multiply: latency 8
+    INT_MULQ = 2       # wide integer multiply: latency 16
+    INT_CMP = 3        # compare: latency 0
+    INT_CMOV = 4       # conditional move: latency 2
+    FP_ALU = 5         # all other FP: latency 4
+    FP_DIV = 6         # FP divide (single): latency 17
+    FP_DIVD = 7        # FP divide (double): latency 30
+    LOAD = 8           # load (cache hit): latency 1
+    STORE = 9
+    BRANCH = 10        # conditional branch
+    JUMP = 11          # unconditional direct jump / call
+    JUMP_IND = 12      # indirect jump / return
+    NOP = 13
+    HALT = 14
+
+
+#: Instruction latencies in cycles, from Table 1 of the paper.  Latency is
+#: the producer-to-consumer distance: a latency-1 producer issued at cycle
+#: ``t`` can feed a consumer issued at ``t + 1``; a latency-0 compare can
+#: feed a consumer issued in the same cycle.
+INSTRUCTION_LATENCIES = {
+    InstrClass.INT_ALU: 1,
+    InstrClass.INT_MUL: 8,
+    InstrClass.INT_MULQ: 16,
+    InstrClass.INT_CMP: 0,
+    InstrClass.INT_CMOV: 2,
+    InstrClass.FP_ALU: 4,
+    InstrClass.FP_DIV: 17,
+    InstrClass.FP_DIVD: 30,
+    InstrClass.LOAD: 1,
+    InstrClass.STORE: 1,
+    InstrClass.BRANCH: 1,
+    InstrClass.JUMP: 1,
+    InstrClass.JUMP_IND: 1,
+    InstrClass.NOP: 1,
+    InstrClass.HALT: 1,
+}
+
+
+class Opcode(enum.Enum):
+    """Every opcode in the reproduction ISA.
+
+    The value is ``(mnemonic, instruction class)``.
+    """
+
+    # Integer ALU, register-register.
+    ADD = ("add", InstrClass.INT_ALU)
+    SUB = ("sub", InstrClass.INT_ALU)
+    AND = ("and", InstrClass.INT_ALU)
+    OR = ("or", InstrClass.INT_ALU)
+    XOR = ("xor", InstrClass.INT_ALU)
+    SLL = ("sll", InstrClass.INT_ALU)
+    SRL = ("srl", InstrClass.INT_ALU)
+    SRA = ("sra", InstrClass.INT_ALU)
+    # Integer ALU, register-immediate.
+    ADDI = ("addi", InstrClass.INT_ALU)
+    ANDI = ("andi", InstrClass.INT_ALU)
+    ORI = ("ori", InstrClass.INT_ALU)
+    XORI = ("xori", InstrClass.INT_ALU)
+    SLLI = ("slli", InstrClass.INT_ALU)
+    SRLI = ("srli", InstrClass.INT_ALU)
+    LI = ("li", InstrClass.INT_ALU)
+    # Multiplies (Table 1: "integer multiply 8,16").
+    MUL = ("mul", InstrClass.INT_MUL)
+    MULQ = ("mulq", InstrClass.INT_MULQ)
+    # Compares (Table 1: "compare 0").
+    CMPEQ = ("cmpeq", InstrClass.INT_CMP)
+    CMPLT = ("cmplt", InstrClass.INT_CMP)
+    CMPLE = ("cmple", InstrClass.INT_CMP)
+    # Conditional move (Table 1: "conditional move 2").
+    CMOVZ = ("cmovz", InstrClass.INT_CMOV)
+    CMOVNZ = ("cmovnz", InstrClass.INT_CMOV)
+    # Floating point (Table 1: "all other FP 4", "FP divide 17,30").
+    FADD = ("fadd", InstrClass.FP_ALU)
+    FSUB = ("fsub", InstrClass.FP_ALU)
+    FMUL = ("fmul", InstrClass.FP_ALU)
+    FCMP = ("fcmp", InstrClass.FP_ALU)
+    FCVT = ("fcvt", InstrClass.FP_ALU)
+    FMOV = ("fmov", InstrClass.FP_ALU)
+    FDIV = ("fdiv", InstrClass.FP_DIV)
+    FDIVD = ("fdivd", InstrClass.FP_DIVD)
+    # Memory (Table 1: "load (cache hit) 1").
+    LD = ("ld", InstrClass.LOAD)
+    ST = ("st", InstrClass.STORE)
+    FLD = ("fld", InstrClass.LOAD)
+    FST = ("fst", InstrClass.STORE)
+    # Control.
+    BEQZ = ("beqz", InstrClass.BRANCH)
+    BNEZ = ("bnez", InstrClass.BRANCH)
+    J = ("j", InstrClass.JUMP)
+    JAL = ("jal", InstrClass.JUMP)
+    JR = ("jr", InstrClass.JUMP_IND)
+    RET = ("ret", InstrClass.JUMP_IND)
+    # Misc.
+    NOP = ("nop", InstrClass.NOP)
+    HALT = ("halt", InstrClass.HALT)
+
+    @property
+    def mnemonic(self) -> str:
+        return self.value[0]
+
+    @property
+    def iclass(self) -> InstrClass:
+        return self.value[1]
+
+
+#: Mnemonic -> Opcode lookup used by the assembler.
+MNEMONIC_TO_OPCODE = {op.mnemonic: op for op in Opcode}
+
+_CONTROL_CLASSES = frozenset(
+    {InstrClass.BRANCH, InstrClass.JUMP, InstrClass.JUMP_IND}
+)
+_FP_CLASSES = frozenset({InstrClass.FP_ALU, InstrClass.FP_DIV, InstrClass.FP_DIVD})
+
+
+def latency_for(iclass: InstrClass) -> int:
+    """Return the Table-1 latency (in cycles) for an instruction class."""
+    return INSTRUCTION_LATENCIES[iclass]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    Operand conventions (register indices are 0..31):
+
+    ``rd``
+        destination register, or ``None``.
+    ``rs1``, ``rs2``
+        source registers, or ``None``.  For stores ``rs1`` is the base
+        address register and ``rs2`` the value being stored.  For loads
+        ``rs1`` is the base address register.
+    ``imm``
+        immediate / displacement.
+    ``target``
+        byte address of a direct branch/jump target (resolved by the
+        assembler), or ``None`` for indirect jumps.
+
+    ``rd_file`` / ``rs1_file`` / ``rs2_file`` say which register file each
+    operand belongs to, so the renamer knows which physical pool to use.
+    """
+
+    opcode: Opcode
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: int = 0
+    target: Optional[int] = None
+    rd_file: RegFile = RegFile.INT
+    rs1_file: RegFile = RegFile.INT
+    rs2_file: RegFile = RegFile.INT
+
+    # ------------------------------------------------------------------
+    # Static classification helpers used throughout the timing core.
+    # ------------------------------------------------------------------
+    @property
+    def iclass(self) -> InstrClass:
+        return self.opcode.iclass
+
+    @property
+    def latency(self) -> int:
+        return INSTRUCTION_LATENCIES[self.opcode.iclass]
+
+    @property
+    def is_control(self) -> bool:
+        return self.opcode.iclass in _CONTROL_CLASSES
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.opcode.iclass is InstrClass.BRANCH
+
+    @property
+    def is_jump(self) -> bool:
+        return self.opcode.iclass in (InstrClass.JUMP, InstrClass.JUMP_IND)
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.opcode.iclass is InstrClass.JUMP_IND
+
+    @property
+    def is_call(self) -> bool:
+        return self.opcode is Opcode.JAL
+
+    @property
+    def is_return(self) -> bool:
+        return self.opcode is Opcode.RET
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode.iclass is InstrClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode.iclass is InstrClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opcode.iclass in (InstrClass.LOAD, InstrClass.STORE)
+
+    @property
+    def is_fp(self) -> bool:
+        """True if the instruction dispatches to the floating-point queue.
+
+        Following the paper, the *integer* queue handles integer
+        instructions and **all** load/store operations (including FP loads
+        and stores); the FP queue handles FP arithmetic only.
+        """
+        return self.opcode.iclass in _FP_CLASSES
+
+    @property
+    def writes_reg(self) -> bool:
+        return self.rd is not None
+
+    def sources(self) -> Tuple[Tuple[int, RegFile], ...]:
+        """Return the (register, regfile) pairs this instruction reads."""
+        srcs = []
+        if self.rs1 is not None:
+            srcs.append((self.rs1, self.rs1_file))
+        if self.rs2 is not None:
+            srcs.append((self.rs2, self.rs2_file))
+        return tuple(srcs)
+
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        op = self.opcode
+        m = op.mnemonic
+        def r(i, f):
+            return ("f" if f is RegFile.FP else "r") + str(i)
+
+        if op in (Opcode.NOP, Opcode.HALT, Opcode.RET):
+            return m
+        if op in (Opcode.LD, Opcode.FLD):
+            return f"{m} {r(self.rd, self.rd_file)}, {self.imm}({r(self.rs1, self.rs1_file)})"
+        if op in (Opcode.ST, Opcode.FST):
+            return f"{m} {r(self.rs2, self.rs2_file)}, {self.imm}({r(self.rs1, self.rs1_file)})"
+        if op in (Opcode.BEQZ, Opcode.BNEZ):
+            return f"{m} {r(self.rs1, self.rs1_file)}, {self.target:#x}"
+        if op in (Opcode.J, Opcode.JAL):
+            return f"{m} {self.target:#x}"
+        if op is Opcode.JR:
+            return f"{m} {r(self.rs1, self.rs1_file)}"
+        if op is Opcode.LI:
+            return f"{m} {r(self.rd, self.rd_file)}, {self.imm}"
+        parts = []
+        if self.rd is not None:
+            parts.append(r(self.rd, self.rd_file))
+        if self.rs1 is not None:
+            parts.append(r(self.rs1, self.rs1_file))
+        if self.rs2 is not None:
+            parts.append(r(self.rs2, self.rs2_file))
+        if op.mnemonic.endswith("i") and op not in (Opcode.LI,):
+            parts.append(str(self.imm))
+        return f"{m} " + ", ".join(parts)

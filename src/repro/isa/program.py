@@ -1,0 +1,121 @@
+"""Program image: text segment, data segment, and symbols.
+
+A :class:`Program` is what the fetch unit and the functional emulator both
+read.  The text segment is a flat list of static instructions starting at
+``TEXT_BASE``; instruction ``i`` lives at byte address ``TEXT_BASE + 4*i``.
+The data segment is word-addressed (8-byte words) starting at ``DATA_BASE``.
+
+Wrong-path fetch reads arbitrary text addresses, so :meth:`Program.fetch`
+is total: addresses outside the text segment return ``None`` and the fetch
+unit treats them as an (immediately squashed) fetch stall, mirroring how a
+real front end would fault or fetch garbage that is later squashed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.instructions import Instruction
+
+#: Base byte address of the text segment (all programs).
+TEXT_BASE = 0x0001_0000
+#: Base byte address of the data segment (all programs).
+DATA_BASE = 0x0100_0000
+#: Bytes per instruction.
+INSTR_BYTES = 4
+#: Bytes per data word.
+WORD_BYTES = 8
+
+
+@dataclass
+class DataSegment:
+    """Initial data memory contents for a program.
+
+    ``words`` maps byte addresses (multiples of 8, relative to absolute
+    address space, i.e. already offset by ``DATA_BASE``) to 64-bit integer
+    values.  ``size`` is the extent in bytes of the addressable data region
+    starting at ``DATA_BASE``; loads inside the region but not in ``words``
+    read zero.
+    """
+
+    words: Dict[int, int] = field(default_factory=dict)
+    size: int = 1 << 20  # 1 MiB default data region
+
+    def read(self, addr: int) -> int:
+        return self.words.get(addr & ~0x7, 0)
+
+
+class Program:
+    """An executable image: instructions, initial data, and symbols."""
+
+    def __init__(
+        self,
+        instructions: List[Instruction],
+        data: Optional[DataSegment] = None,
+        symbols: Optional[Dict[str, int]] = None,
+        name: str = "anonymous",
+    ):
+        if not instructions:
+            raise ValueError("a program must contain at least one instruction")
+        self.instructions: List[Instruction] = list(instructions)
+        self.data: DataSegment = data if data is not None else DataSegment()
+        self.symbols: Dict[str, int] = dict(symbols or {})
+        self.name = name
+        self.entry: int = self.symbols.get("_start", TEXT_BASE)
+
+    # ------------------------------------------------------------------
+    @property
+    def text_start(self) -> int:
+        return TEXT_BASE
+
+    @property
+    def text_end(self) -> int:
+        """One past the last valid instruction byte address."""
+        return TEXT_BASE + INSTR_BYTES * len(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def in_text(self, pc: int) -> bool:
+        return TEXT_BASE <= pc < self.text_end and pc % INSTR_BYTES == 0
+
+    def fetch(self, pc: int) -> Optional[Instruction]:
+        """Return the static instruction at byte address ``pc``.
+
+        Total over all addresses: out-of-segment or misaligned PCs (which
+        can only arise on wrong paths) return ``None``.
+        """
+        if not self.in_text(pc):
+            return None
+        return self.instructions[(pc - TEXT_BASE) // INSTR_BYTES]
+
+    def address_of(self, index: int) -> int:
+        """Byte address of instruction ``index``."""
+        if not 0 <= index < len(self.instructions):
+            raise IndexError(f"instruction index {index} out of range")
+        return TEXT_BASE + INSTR_BYTES * index
+
+    def index_of(self, pc: int) -> int:
+        """Instruction index of byte address ``pc``."""
+        if not self.in_text(pc):
+            raise ValueError(f"pc {pc:#x} not in text segment")
+        return (pc - TEXT_BASE) // INSTR_BYTES
+
+    def listing(self) -> str:
+        """Human-readable disassembly listing, mainly for debugging."""
+        addr_to_label = {v: k for k, v in self.symbols.items()}
+        lines = []
+        for i, instr in enumerate(self.instructions):
+            addr = self.address_of(i)
+            label = addr_to_label.get(addr)
+            if label:
+                lines.append(f"{label}:")
+            lines.append(f"  {addr:#010x}:  {instr}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Program(name={self.name!r}, instructions={len(self.instructions)}, "
+            f"data_words={len(self.data.words)})"
+        )

@@ -1,0 +1,21 @@
+"""Memory hierarchy substrate (paper Table 2).
+
+The hierarchy is modelled "in great detail, simulating bandwidth
+limitations and access conflicts at multiple levels" (Section 2.1):
+banked, lockup-free caches with miss-status holding registers, per-level
+ports and inter-level bus occupancy, and TLBs whose misses cost two full
+memory accesses.
+"""
+
+from repro.memory.cache import BankedCache, CacheParams
+from repro.memory.tlb import TLB
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy, default_hierarchy
+
+__all__ = [
+    "BankedCache",
+    "CacheParams",
+    "TLB",
+    "AccessResult",
+    "MemoryHierarchy",
+    "default_hierarchy",
+]

@@ -1,0 +1,213 @@
+"""Banked, lockup-free cache model.
+
+Each cache level is interleaved into banks on line address (following
+Sohi & Franklin, as the paper does); a bank serves one access per cycle
+and is additionally occupied for ``fill_time`` cycles when a miss fill
+returns.  Outstanding misses are tracked in MSHRs: a second miss to a
+line already in flight merges with the first (lockup-free behaviour) and
+costs no extra downstream traffic.
+
+Tag state (hit/miss, LRU) is updated eagerly at access time; timing is
+returned to the caller as absolute cycle numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry and timing of one cache level (one row of Table 2)."""
+
+    name: str
+    size: int                 # bytes
+    assoc: int                # 1 = direct mapped
+    line_size: int = 64
+    banks: int = 8
+    transfer_time: int = 1    # cycles to move a line over the output bus
+    accesses_per_cycle: float = 1.0   # port limit across all banks
+    fill_time: int = 2        # cycles a bank is busy accepting a fill
+    latency_to_next: int = 6  # request flight time to the next level
+    mshrs: int = 8            # outstanding distinct line misses
+
+    def __post_init__(self):
+        if self.size % (self.line_size * self.assoc * self.banks):
+            raise ValueError(f"{self.name}: size not divisible into sets/banks")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size // (self.line_size * self.assoc)
+
+
+class BankedCache:
+    """One cache level with banks, ports, and MSHRs."""
+
+    def __init__(self, params: CacheParams):
+        self.params = params
+        self.n_sets = params.n_sets
+        self._line_shift = params.line_size.bit_length() - 1
+        # Per-set LRU-ordered tag lists (most recent last).
+        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+        # Bank -> earliest cycle the bank can take another access
+        # (serialises same-bank accesses at one per cycle).
+        self._bank_free = [0] * params.banks
+        # Bank -> [(start, end)] windows during which a returning fill
+        # occupies the bank and rejects reads.
+        self._fill_windows: List[List[tuple]] = [[] for _ in range(params.banks)]
+        # Port accounting: cycle -> accesses already granted that cycle.
+        # (accesses_per_cycle < 1 means one access per 1/apc cycles,
+        # modelled with the same bank-free mechanism on bank 0.)
+        self._port_grants: Dict[int, int] = {}
+        # MSHRs: line address -> cycle the fill completes.
+        self.outstanding: Dict[int, int] = {}
+        # Statistics.
+        self.accesses = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def line_of(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def bank_of(self, addr: int) -> int:
+        return self.line_of(addr) % self.params.banks
+
+    def _set_of(self, addr: int) -> int:
+        return self.line_of(addr) % self.n_sets
+
+    # ------------------------------------------------------------------
+    def expire(self, cycle: int) -> None:
+        """Retire bookkeeping that is strictly in the past."""
+        self.outstanding = {
+            line: ready for line, ready in self.outstanding.items() if ready > cycle
+        }
+        self._port_grants = {
+            c: n for c, n in self._port_grants.items() if c >= cycle
+        }
+        self._fill_windows = [
+            [(s, e) for (s, e) in windows if e >= cycle]
+            for windows in self._fill_windows
+        ]
+
+    # ------------------------------------------------------------------
+    def probe(self, addr: int) -> bool:
+        """Tag check only; no state change (used by ITAG early lookup)."""
+        tags = self._sets[self._set_of(addr)]
+        return self.line_of(addr) in tags
+
+    def bank_free_at(self, addr: int, cycle: int) -> bool:
+        bank = self.bank_of(addr)
+        if self._bank_free[bank] > cycle:
+            return False
+        for start, end in self._fill_windows[bank]:
+            if start <= cycle < end:
+                return False
+        return True
+
+    def port_available(self, cycle: int) -> bool:
+        apc = self.params.accesses_per_cycle
+        if apc >= 1:
+            return self._port_grants.get(cycle, 0) < apc
+        # Fractional rate: at most one access per 1/apc cycles, enforced
+        # through bank 0's free time (single-banked slow caches).
+        return self._bank_free[0] <= cycle
+
+    def grant_port(self, cycle: int) -> None:
+        apc = self.params.accesses_per_cycle
+        if apc >= 1:
+            self._port_grants[cycle] = self._port_grants.get(cycle, 0) + 1
+        else:
+            self._bank_free[0] = cycle + round(1 / apc)
+
+    # ------------------------------------------------------------------
+    def lookup(self, addr: int, cycle: int) -> bool:
+        """Perform the tag access at ``cycle``; returns hit/miss and
+        occupies the bank for this cycle.  Does not handle the miss —
+        the hierarchy does that."""
+        self.accesses += 1
+        bank = self.bank_of(addr)
+        self._bank_free[bank] = max(self._bank_free[bank], cycle + 1)
+        sset = self._sets[self._set_of(addr)]
+        line = self.line_of(addr)
+        if line in sset:
+            sset.remove(line)
+            sset.append(line)  # LRU touch
+            return True
+        self.misses += 1
+        return False
+
+    def warm_touch(self, addr: int) -> bool:
+        """Functional (timing-free) touch: LRU update, install on miss.
+
+        Used by functional warmup to bring tag state to steady state
+        without simulating cycles.  Returns True on hit."""
+        sset = self._sets[self._set_of(addr)]
+        line = self.line_of(addr)
+        if line in sset:
+            sset.remove(line)
+            sset.append(line)
+            return True
+        if len(sset) >= self.params.assoc:
+            sset.pop(0)
+        sset.append(line)
+        return False
+
+    def mshr_lookup(self, addr: int, cycle: Optional[int] = None) -> Optional[int]:
+        """Completion cycle of an in-flight fill for this line, if any.
+
+        When ``cycle`` is given, an entry whose fill already landed is
+        retired on the spot (the line is installed, so a fresh lookup
+        will hit)."""
+        line = self.line_of(addr)
+        ready = self.outstanding.get(line)
+        if ready is None:
+            return None
+        if cycle is not None and ready <= cycle:
+            del self.outstanding[line]
+            return None
+        return ready
+
+    def mshr_full(self, cycle: int) -> bool:
+        """True if no miss-status register is free at ``cycle``.
+
+        Entries whose fill has already landed are pruned on the spot —
+        a completed fill frees its MSHR immediately, not at the next
+        housekeeping sweep."""
+        if len(self.outstanding) < self.params.mshrs:
+            return False
+        self.outstanding = {
+            line: ready for line, ready in self.outstanding.items() if ready > cycle
+        }
+        return len(self.outstanding) >= self.params.mshrs
+
+    def install(self, addr: int) -> None:
+        """Install a line's tag (evicting LRU if needed)."""
+        line = self.line_of(addr)
+        sset = self._sets[self._set_of(addr)]
+        if line not in sset:
+            if len(sset) >= self.params.assoc:
+                sset.pop(0)
+            sset.append(line)
+
+    def start_fill(self, addr: int, ready_cycle: int) -> None:
+        """Record an outstanding miss; the line installs at ready_cycle."""
+        line = self.line_of(addr)
+        self.outstanding[line] = ready_cycle
+        # Install the tag now (the timing gate is the MSHR entry); the
+        # bank is busy accepting the fill when it lands.
+        self.install(addr)
+        bank = self.bank_of(addr)
+        windows = self._fill_windows[bank]
+        windows.append((ready_cycle, ready_cycle + self.params.fill_time))
+        if len(windows) > 64:
+            del windows[0]
+
+    # ------------------------------------------------------------------
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.misses = 0

@@ -1,0 +1,53 @@
+"""TLB model.
+
+The paper: "We model lockup-free caches and TLBs.  TLB misses require two
+full memory accesses and no execution resources."  The TLB here is a
+fully-associative, LRU, thread-tagged translation cache; on a miss the
+hierarchy charges two full memory round trips of latency to the access
+and installs the entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Tuple
+
+
+class TLB:
+    """Fully-associative, LRU translation lookaside buffer."""
+
+    def __init__(self, entries: int = 64, page_bytes: int = 8192):
+        if page_bytes & (page_bytes - 1):
+            raise ValueError("page size must be a power of two")
+        self.entries = entries
+        self.page_shift = page_bytes.bit_length() - 1
+        self._map: "OrderedDict[Tuple[int, int], bool]" = OrderedDict()
+        self.accesses = 0
+        self.misses = 0
+
+    def page_of(self, addr: int) -> int:
+        return addr >> self.page_shift
+
+    def access(self, tid: int, addr: int) -> bool:
+        """Touch the translation for (tid, page); return True on hit.
+
+        On a miss the entry is installed (the hierarchy accounts the
+        two-memory-access penalty)."""
+        self.accesses += 1
+        key = (tid, self.page_of(addr))
+        if key in self._map:
+            self._map.move_to_end(key)
+            return True
+        self.misses += 1
+        if len(self._map) >= self.entries:
+            self._map.popitem(last=False)
+        self._map[key] = True
+        return False
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.misses = 0

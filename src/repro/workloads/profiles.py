@@ -1,0 +1,272 @@
+"""Workload profiles: the calibration knobs for each synthetic benchmark.
+
+Each :class:`WorkloadProfile` describes one program of the paper's workload
+(Section 3).  The knobs are chosen from the programs' well-documented
+characters:
+
+* **alvinn** — neural-net training: streaming FP, very predictable loops,
+  moderate working set, high FP ILP.
+* **doduc** — Monte-Carlo nuclear reactor model: mixed FP with frequent
+  data-dependent branches, mid-size working set.
+* **fpppp** — quantum chemistry: enormous basic blocks, FP-dense, very few
+  branches, high register pressure.
+* **ora** — ray tracing: long dependence chains through FP divides.
+* **tomcatv** — vectorised mesh generation: strided FP streams over a large
+  working set (the D-cache offender).
+* **espresso** — logic minimisation: branchy integer bit-twiddling over a
+  small working set, switch-style indirect jumps.
+* **xlisp** — lisp interpreter: pointer chasing, deep recursion (return
+  stack pressure), unpredictable branches, indirect dispatch.
+* **tex** — document typesetting: large text footprint (the I-cache
+  offender), mixed integer work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Knobs for one synthetic benchmark generator.
+
+    Fractions need not sum to 1; the remainder of the instruction mix is
+    plain integer ALU work (address arithmetic, masks, adds).
+    """
+
+    name: str
+    #: Approximate number of static *body* instructions to generate.  The
+    #: text footprint in bytes is roughly 4x this (plus loop/call glue).
+    text_instructions: int
+    #: Number of procedures the dispatcher tours (I-cache touring).
+    procedures: int
+    #: Instructions per generated basic block (min, max).
+    block_size: Tuple[int, int]
+    #: Loop trip count per procedure (min, max) — loop branches are the
+    #: predictable kind.
+    trip_count: Tuple[int, int]
+    #: Fraction of body slots that are FP arithmetic.
+    frac_fp: float
+    #: Fraction of body slots that are loads.
+    frac_load: float
+    #: Fraction of body slots that are stores.
+    frac_store: float
+    #: Fraction of body slots that are integer multiplies.
+    frac_mul: float
+    #: Of the FP slots, fraction that are divides (split fdiv/fdivd).
+    frac_fp_div: float
+    #: Per block, probability of embedding a data-dependent branch.
+    data_branch_prob: float
+    #: Bias of data-dependent branch data (P(bit == 1)); 0.5 is maximally
+    #: unpredictable, 0.9 is mostly-taken.
+    data_branch_bias: float
+    #: Probability that an op's sources come from recent results
+    #: (serialising) rather than loop-invariant registers (parallel).
+    dependence_density: float
+    #: Data working set in bytes (power of two).
+    working_set: int
+    #: Memory access pattern: "seq", "stride", "random", or "chase".
+    access_pattern: str
+    #: Stride in bytes for the "stride" pattern.
+    stride: int = 64
+    #: Depth of the recursive call chain (0 disables recursion).
+    recursion_depth: int = 0
+    #: Number of indirect-jump switch cases (0 disables the switch).
+    switch_cases: int = 0
+    #: How many procedures each dispatcher iteration calls.
+    calls_per_iteration: int = 0  # 0 means "all procedures"
+    #: Trip count of each procedure's outer loop (min, max): how many
+    #: times one call re-runs the procedure's loop nest (execution
+    #: concentration / branch-site hotness).
+    outer_trip: tuple = (4, 10)
+    #: Size in bytes (power of two) of the hot region each procedure's
+    #: accesses tile through: real code re-walks blocked sub-arrays, so
+    #: most accesses hit a cache-resident window while the window itself
+    #: migrates across the full working set over time.
+    hot_region: int = 1 << 11
+    #: Temporal persistence of the branch data (P(bit_t == bit_{t-1})).
+    #: Real branch streams are strongly correlated in time — this is what
+    #: lets a history-based (gshare) predictor do better than the bias
+    #: alone.  0.5 would be i.i.d. noise.
+    data_branch_persistence: float = 0.8
+
+    def __post_init__(self):
+        if self.working_set & (self.working_set - 1):
+            raise ValueError(f"{self.name}: working_set must be a power of two")
+        if self.access_pattern not in ("seq", "stride", "random", "chase"):
+            raise ValueError(f"{self.name}: bad access_pattern {self.access_pattern!r}")
+        total = self.frac_fp + self.frac_load + self.frac_store + self.frac_mul
+        if total > 0.95:
+            raise ValueError(f"{self.name}: instruction mix fractions sum to {total}")
+
+
+#: The eight-program workload of the paper (Section 3).
+PROFILES: Dict[str, WorkloadProfile] = {
+    "alvinn": WorkloadProfile(
+        name="alvinn",
+        text_instructions=2200,
+        procedures=10,
+        block_size=(3, 6),
+        trip_count=(16, 48),
+        frac_fp=0.45,
+        frac_load=0.24,
+        frac_store=0.09,
+        frac_mul=0.00,
+        frac_fp_div=0.01,
+        data_branch_prob=0.3,
+        data_branch_bias=0.92,
+        data_branch_persistence=0.92,
+        dependence_density=0.72,
+        working_set=1 << 15,
+        access_pattern="seq",
+        outer_trip=(6, 12),
+        hot_region=1 << 12,
+    ),
+    "doduc": WorkloadProfile(
+        name="doduc",
+        text_instructions=5600,
+        procedures=22,
+        block_size=(2, 5),
+        trip_count=(6, 20),
+        frac_fp=0.36,
+        frac_load=0.22,
+        frac_store=0.08,
+        frac_mul=0.01,
+        frac_fp_div=0.02,
+        data_branch_prob=0.8,
+        data_branch_bias=0.82,
+        data_branch_persistence=0.88,
+        dependence_density=0.7,
+        working_set=1 << 15,
+        access_pattern="stride",
+        stride=24,
+        hot_region=1 << 12,
+    ),
+    "fpppp": WorkloadProfile(
+        name="fpppp",
+        text_instructions=11000,
+        procedures=8,
+        block_size=(30, 60),
+        trip_count=(4, 10),
+        frac_fp=0.5,
+        frac_load=0.25,
+        frac_store=0.10,
+        frac_mul=0.00,
+        frac_fp_div=0.015,
+        data_branch_prob=0.05,
+        data_branch_bias=0.92,
+        data_branch_persistence=0.92,
+        dependence_density=0.62,
+        working_set=1 << 14,
+        access_pattern="seq",
+        outer_trip=(8, 16),
+        hot_region=1 << 12,
+    ),
+    "ora": WorkloadProfile(
+        name="ora",
+        text_instructions=1600,
+        procedures=6,
+        block_size=(3, 6),
+        trip_count=(8, 24),
+        frac_fp=0.48,
+        frac_load=0.12,
+        frac_store=0.04,
+        frac_mul=0.00,
+        frac_fp_div=0.06,
+        data_branch_prob=0.4,
+        data_branch_bias=0.88,
+        data_branch_persistence=0.90,
+        dependence_density=0.78,
+        working_set=1 << 13,
+        access_pattern="seq",
+        outer_trip=(6, 12),
+        hot_region=1 << 12,
+    ),
+    "tomcatv": WorkloadProfile(
+        name="tomcatv",
+        text_instructions=3000,
+        procedures=9,
+        block_size=(4, 8),
+        trip_count=(16, 48),
+        frac_fp=0.42,
+        frac_load=0.26,
+        frac_store=0.10,
+        frac_mul=0.00,
+        frac_fp_div=0.01,
+        data_branch_prob=0.3,
+        data_branch_bias=0.90,
+        data_branch_persistence=0.92,
+        dependence_density=0.55,
+        working_set=1 << 16,
+        access_pattern="stride",
+        stride=16,
+        hot_region=1 << 15,
+    ),
+    "espresso": WorkloadProfile(
+        name="espresso",
+        text_instructions=7600,
+        procedures=28,
+        block_size=(1, 3),
+        trip_count=(4, 16),
+        frac_fp=0.00,
+        frac_load=0.22,
+        frac_store=0.07,
+        frac_mul=0.01,
+        frac_fp_div=0.00,
+        data_branch_prob=1.0,
+        data_branch_bias=0.76,
+        data_branch_persistence=0.85,
+        dependence_density=0.68,
+        working_set=1 << 14,
+        access_pattern="random",
+        switch_cases=8,
+        hot_region=1 << 11,
+    ),
+    "xlisp": WorkloadProfile(
+        name="xlisp",
+        text_instructions=5600,
+        procedures=20,
+        block_size=(1, 3),
+        trip_count=(3, 10),
+        frac_fp=0.00,
+        frac_load=0.28,
+        frac_store=0.10,
+        frac_mul=0.00,
+        frac_fp_div=0.00,
+        data_branch_prob=1.0,
+        data_branch_bias=0.72,
+        data_branch_persistence=0.85,
+        dependence_density=0.72,
+        working_set=1 << 13,
+        access_pattern="chase",
+        recursion_depth=16,
+        switch_cases=12,
+    ),
+    "tex": WorkloadProfile(
+        name="tex",
+        text_instructions=9600,
+        procedures=32,
+        block_size=(1, 4),
+        trip_count=(4, 14),
+        frac_fp=0.00,
+        frac_load=0.24,
+        frac_store=0.09,
+        frac_mul=0.01,
+        frac_fp_div=0.00,
+        data_branch_prob=1.0,
+        data_branch_bias=0.80,
+        data_branch_persistence=0.86,
+        dependence_density=0.65,
+        working_set=1 << 15,
+        access_pattern="stride",
+        stride=40,
+        switch_cases=6,
+        hot_region=1 << 12,
+    ),
+}
+
+
+def profile_names() -> Tuple[str, ...]:
+    """The workload programs in the paper's listing order."""
+    return ("alvinn", "doduc", "fpppp", "ora", "tomcatv", "espresso", "xlisp", "tex")

@@ -1,0 +1,82 @@
+"""Unit tests for the branch target buffer."""
+
+from repro.branch.btb import BranchTargetBuffer
+
+
+class TestBasics:
+    def test_miss_on_empty(self):
+        btb = BranchTargetBuffer()
+        assert btb.lookup(0, 0x10000) is None
+
+    def test_insert_then_hit(self):
+        btb = BranchTargetBuffer()
+        btb.insert(0, 0x10000, 0x20000)
+        assert btb.lookup(0, 0x10000) == 0x20000
+
+    def test_update_changes_target(self):
+        btb = BranchTargetBuffer()
+        btb.insert(0, 0x10000, 0x20000)
+        btb.insert(0, 0x10000, 0x30000)
+        assert btb.lookup(0, 0x10000) == 0x30000
+        assert btb.occupancy() == 1
+
+    def test_paper_geometry(self):
+        btb = BranchTargetBuffer(entries=256, assoc=4)
+        assert btb.n_sets == 64
+
+    def test_occupancy(self):
+        btb = BranchTargetBuffer()
+        for i in range(10):
+            btb.insert(0, 0x10000 + 4 * i, 0x20000)
+        assert btb.occupancy() == 10
+
+
+class TestThreadTags:
+    """Entries carry a thread id to avoid predicting phantom branches."""
+
+    def test_threads_do_not_share_entries(self):
+        btb = BranchTargetBuffer(tag_thread=True)
+        btb.insert(0, 0x10000, 0x20000)
+        assert btb.lookup(1, 0x10000) is None
+
+    def test_untagged_ablation_shares(self):
+        btb = BranchTargetBuffer(tag_thread=False)
+        btb.insert(0, 0x10000, 0x20000)
+        assert btb.lookup(1, 0x10000) == 0x20000  # phantom branch hazard
+
+    def test_two_threads_distinct_targets(self):
+        btb = BranchTargetBuffer(tag_thread=True)
+        btb.insert(0, 0x10000, 0x20000)
+        btb.insert(1, 0x10000, 0x30000)
+        assert btb.lookup(0, 0x10000) == 0x20000
+        assert btb.lookup(1, 0x10000) == 0x30000
+
+
+class TestReplacement:
+    def test_lru_eviction_within_set(self):
+        btb = BranchTargetBuffer(entries=8, assoc=2)  # 4 sets
+        set_stride = 4 * btb.n_sets  # PCs mapping to the same set
+        pcs = [0x10000 + i * set_stride for i in range(3)]
+        btb.insert(0, pcs[0], 1)
+        btb.insert(0, pcs[1], 2)
+        btb.insert(0, pcs[2], 3)  # evicts pcs[0]
+        assert btb.lookup(0, pcs[0]) is None
+        assert btb.lookup(0, pcs[1]) == 2
+        assert btb.lookup(0, pcs[2]) == 3
+
+    def test_lookup_refreshes_lru(self):
+        btb = BranchTargetBuffer(entries=8, assoc=2)
+        set_stride = 4 * btb.n_sets
+        pcs = [0x10000 + i * set_stride for i in range(3)]
+        btb.insert(0, pcs[0], 1)
+        btb.insert(0, pcs[1], 2)
+        btb.lookup(0, pcs[0])          # touch: pcs[1] becomes LRU
+        btb.insert(0, pcs[2], 3)       # evicts pcs[1]
+        assert btb.lookup(0, pcs[0]) == 1
+        assert btb.lookup(0, pcs[1]) is None
+
+    def test_capacity_never_exceeded(self):
+        btb = BranchTargetBuffer(entries=16, assoc=4)
+        for i in range(100):
+            btb.insert(0, 0x10000 + 4 * i, i)
+        assert btb.occupancy() <= 16

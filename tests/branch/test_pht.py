@@ -1,0 +1,95 @@
+"""Unit tests for the pattern history table (gshare)."""
+
+import pytest
+
+from repro.branch.pht import PatternHistoryTable, TwoBitCounter
+
+
+class TestTwoBitCounter:
+    def test_initial_weakly_not_taken(self):
+        assert not TwoBitCounter().taken
+
+    def test_saturates_up(self):
+        c = TwoBitCounter()
+        for _ in range(10):
+            c.update(True)
+        assert c.value == 3 and c.taken
+
+    def test_saturates_down(self):
+        c = TwoBitCounter(3)
+        for _ in range(10):
+            c.update(False)
+        assert c.value == 0 and not c.taken
+
+    def test_hysteresis(self):
+        c = TwoBitCounter(3)
+        c.update(False)
+        assert c.taken  # one not-taken doesn't flip a strong counter
+
+    def test_bad_init_rejected(self):
+        with pytest.raises(ValueError):
+            TwoBitCounter(4)
+
+
+class TestPatternHistoryTable:
+    def test_paper_geometry(self):
+        pht = PatternHistoryTable()
+        assert pht.entries == 2048
+        assert pht.history_bits == 11
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            PatternHistoryTable(entries=1000)
+
+    def test_initially_predicts_not_taken(self):
+        pht = PatternHistoryTable()
+        assert not pht.predict(0x10000, 0)
+
+    def test_learns_taken(self):
+        pht = PatternHistoryTable()
+        pht.update(0x10000, 0, True)
+        pht.update(0x10000, 0, True)
+        assert pht.predict(0x10000, 0)
+
+    def test_index_is_xor_of_pc_and_history(self):
+        pht = PatternHistoryTable(entries=2048)
+        assert pht.index(0x10000, 0) == ((0x10000 >> 2) & 2047)
+        assert pht.index(0x10000, 0b101) == (((0x10000 >> 2) ^ 0b101) & 2047)
+
+    def test_distinct_histories_use_distinct_counters(self):
+        pht = PatternHistoryTable()
+        pht.update(0x10000, 0b0, True)
+        pht.update(0x10000, 0b0, True)
+        assert pht.predict(0x10000, 0b0)
+        assert not pht.predict(0x10000, 0b1)
+
+    def test_push_history_shifts_and_masks(self):
+        pht = PatternHistoryTable(history_bits=3)
+        h = 0
+        for taken in (True, False, True, True):
+            h = pht.push_history(h, taken)
+        assert h == 0b011 or h == 0b0111 & 0b111
+        assert h <= pht.history_mask
+
+    def test_counter_values_stay_in_range(self):
+        pht = PatternHistoryTable(entries=16)
+        for i in range(200):
+            pht.update(4 * i, i & 7, i % 3 == 0)
+        assert all(0 <= v <= 3 for v in pht.table)
+
+    def test_learns_alternating_pattern_with_history(self):
+        """gshare's reason to exist: a strictly alternating branch is
+        perfectly predictable with one bit of history."""
+        pht = PatternHistoryTable()
+        pc = 0x10400
+        history = 0
+        correct = 0
+        outcome = True
+        for i in range(200):
+            prediction = pht.predict(pc, history)
+            if i > 50:
+                correct += prediction == outcome
+            pht.update(pc, history, outcome)
+            history = pht.push_history(history, outcome)
+            outcome = not outcome
+        assert correct > 140  # essentially perfect after warmup

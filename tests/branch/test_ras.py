@@ -1,0 +1,89 @@
+"""Unit tests for the per-context return address stack."""
+
+import pytest
+
+from repro.branch.ras import ReturnAddressStack
+
+
+class TestBasics:
+    def test_pop_empty_returns_none(self):
+        assert ReturnAddressStack().pop() is None
+
+    def test_push_pop(self):
+        ras = ReturnAddressStack()
+        ras.push(0x10004)
+        assert ras.pop() == 0x10004
+
+    def test_lifo_order(self):
+        ras = ReturnAddressStack()
+        for addr in (1, 2, 3):
+            ras.push(addr * 4)
+        assert [ras.pop() for _ in range(3)] == [12, 8, 4]
+
+    def test_paper_depth(self):
+        assert ReturnAddressStack().depth == 12
+
+    def test_len_tracks_entries(self):
+        ras = ReturnAddressStack(depth=4)
+        for i in range(3):
+            ras.push(i)
+        assert len(ras) == 3
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(depth=0)
+
+
+class TestOverflow:
+    """Deep recursion wraps the circular buffer: the oldest entries are
+    silently overwritten, causing return mispredictions — as on real
+    hardware (the xlisp behaviour)."""
+
+    def test_overflow_overwrites_oldest(self):
+        ras = ReturnAddressStack(depth=3)
+        for addr in (10, 20, 30, 40):
+            ras.push(addr)
+        assert ras.pop() == 40
+        assert ras.pop() == 30
+        assert ras.pop() == 20
+        # The wrapped slot now holds 40's residue, not 10.
+        assert ras.pop() != 10
+
+    def test_len_caps_at_depth(self):
+        ras = ReturnAddressStack(depth=4)
+        for i in range(10):
+            ras.push(i)
+        assert len(ras) == 4
+
+
+class TestCheckpointing:
+    def test_restore_discards_speculative_pushes(self):
+        ras = ReturnAddressStack()
+        ras.push(100)
+        cp = ras.checkpoint()
+        ras.push(200)  # speculative (wrong path)
+        ras.push(300)
+        ras.restore(cp)
+        assert ras.pop() == 100
+
+    def test_restore_replays_speculative_pops(self):
+        ras = ReturnAddressStack()
+        ras.push(100)
+        ras.push(200)
+        cp = ras.checkpoint()
+        ras.pop()      # speculative pop
+        ras.restore(cp)
+        assert ras.pop() == 200
+        assert ras.pop() == 100
+
+    def test_nested_checkpoints(self):
+        ras = ReturnAddressStack()
+        ras.push(1)
+        cp1 = ras.checkpoint()
+        ras.push(2)
+        cp2 = ras.checkpoint()
+        ras.push(3)
+        ras.restore(cp2)
+        assert ras.pop() == 2
+        ras.restore(cp1)
+        assert ras.pop() == 1

@@ -1,0 +1,103 @@
+"""Unit tests for the machine configuration."""
+
+import pytest
+
+from repro.core.config import SMTConfig, scheme
+
+
+class TestDefaults:
+    """Defaults must be the paper's baseline machine (Section 2.1)."""
+
+    def test_fetch_scheme_is_rr_1_8(self):
+        cfg = SMTConfig()
+        assert cfg.scheme_name == "RR.1.8"
+
+    def test_functional_units(self):
+        cfg = SMTConfig()
+        assert cfg.int_units == 6
+        assert cfg.ls_units == 4
+        assert cfg.fp_units == 3
+
+    def test_queue_sizes(self):
+        cfg = SMTConfig()
+        assert cfg.iq_size == 32
+        assert cfg.iq_capacity == 32
+
+    def test_excess_registers(self):
+        assert SMTConfig().excess_registers == 100
+
+    def test_physical_registers_formula(self):
+        """Paper: 132 for 1 thread, 356 for 8 threads."""
+        assert SMTConfig(n_threads=1).physical_registers == 132
+        assert SMTConfig(n_threads=8).physical_registers == 356
+
+    def test_predictor_geometry(self):
+        cfg = SMTConfig()
+        assert cfg.btb_entries == 256
+        assert cfg.btb_assoc == 4
+        assert cfg.pht_entries == 2048
+        assert cfg.ras_depth == 12
+
+
+class TestPipelines:
+    def test_smt_pipeline_exec_offset(self):
+        assert SMTConfig(smt_pipeline=True).exec_offset == 3
+
+    def test_superscalar_exec_offset(self):
+        assert SMTConfig(smt_pipeline=False).exec_offset == 2
+
+    def test_misfetch_penalty(self):
+        assert SMTConfig().misfetch_penalty == 2
+        assert SMTConfig(itag=True).misfetch_penalty == 3
+
+
+class TestDerived:
+    def test_bigq_doubles_capacity_not_window(self):
+        cfg = SMTConfig(bigq=True)
+        assert cfg.iq_capacity == 64
+        assert cfg.iq_size == 32
+
+    def test_phys_regs_total_override(self):
+        cfg = SMTConfig(n_threads=4, phys_regs_total=200)
+        assert cfg.physical_registers == 200
+
+    def test_with_options(self):
+        cfg = SMTConfig()
+        other = cfg.with_options(n_threads=4, itag=True)
+        assert other.n_threads == 4 and other.itag
+        assert cfg.n_threads == 8 and not cfg.itag  # original untouched
+
+    def test_scheme_helper(self):
+        cfg = scheme("ICOUNT", 2, 8, n_threads=4)
+        assert cfg.scheme_name == "ICOUNT.2.8"
+        assert cfg.n_threads == 4
+
+
+class TestValidation:
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            SMTConfig(fetch_policy="LIFO")
+
+    def test_bad_issue_policy(self):
+        with pytest.raises(ValueError):
+            SMTConfig(issue_policy="RANDOM")
+
+    def test_bad_speculation_mode(self):
+        with pytest.raises(ValueError):
+            SMTConfig(speculation="none")
+
+    def test_thread_range(self):
+        with pytest.raises(ValueError):
+            SMTConfig(n_threads=0)
+
+    def test_ls_subset_of_int(self):
+        with pytest.raises(ValueError):
+            SMTConfig(ls_units=7, int_units=6)
+
+    def test_phys_regs_total_must_cover_architectural(self):
+        with pytest.raises(ValueError):
+            SMTConfig(n_threads=8, phys_regs_total=256)
+
+    def test_fetch_partition_positive(self):
+        with pytest.raises(ValueError):
+            SMTConfig(fetch_threads=0)

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for core data structures and the
+whole simulator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.branch.ras import ReturnAddressStack
+from repro.core.config import SMTConfig
+from repro.core.rename import Renamer
+from repro.core.simulator import Simulator
+from repro.core.uop import Uop
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Instruction, Opcode
+from repro.workloads.mixes import standard_mix
+
+
+# ----------------------------------------------------------------------
+# Return address stack vs a reference model (within capacity).
+# ----------------------------------------------------------------------
+@given(st.lists(st.one_of(
+    st.tuples(st.just("push"), st.integers(0, 1000)),
+    st.tuples(st.just("pop"), st.just(0)),
+), max_size=60))
+@settings(max_examples=80, deadline=None)
+def test_ras_matches_reference_stack_within_capacity(ops):
+    ras = ReturnAddressStack(depth=12)
+    reference = []
+    for op, value in ops:
+        if op == "push":
+            ras.push(value)
+            reference.append(value)
+            if len(reference) > 12:
+                reference.pop(0)  # circular overwrite
+        else:
+            got = ras.pop()
+            want = reference.pop() if reference else None
+            if want is not None:
+                assert got == want
+
+
+# ----------------------------------------------------------------------
+# Renamer conservation under arbitrary rename/commit/rollback orders.
+# ----------------------------------------------------------------------
+@given(st.lists(st.integers(0, 2), min_size=1, max_size=80),
+       st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None)
+def test_renamer_conserves_registers(actions, seed):
+    import random
+    rng = random.Random(seed)
+    renamer = Renamer(n_threads=2, physical_per_file=80)
+    live = []  # renamed, not yet committed/rolled back (stack order)
+    seq = 0
+    for action in actions:
+        if action == 0 or not live:  # rename
+            instr = Instruction(
+                Opcode.ADD, rd=rng.randrange(32),
+                rs1=rng.randrange(32), rs2=rng.randrange(32),
+            )
+            uop = Uop(rng.randrange(2), seq, 0x10000, instr, False)
+            seq += 1
+            if renamer.rename(uop):
+                live.append(uop)
+        elif action == 1:  # commit oldest
+            renamer.commit(live.pop(0))
+        else:  # rollback youngest (squash order)
+            renamer.rollback(live.pop())
+    # Finish everything off and check the partition.
+    while live:
+        renamer.rollback(live.pop())
+    for rf in (renamer.int_file, renamer.fp_file):
+        free = set(rf.free_list)
+        assert len(free) == len(rf.free_list)
+        mapped = {p for m in rf.maps for p in m}
+        assert free | mapped == set(range(rf.physical))
+        assert not (free & mapped)
+
+
+# ----------------------------------------------------------------------
+# Whole-simulator smoke property: any sane configuration simulates a
+# short window without violating basic invariants.
+# ----------------------------------------------------------------------
+config_strategy = st.builds(
+    SMTConfig,
+    n_threads=st.sampled_from([1, 2, 4]),
+    fetch_policy=st.sampled_from(["RR", "BRCOUNT", "MISSCOUNT", "ICOUNT",
+                                  "IQPOSN"]),
+    fetch_threads=st.sampled_from([1, 2]),
+    fetch_per_thread=st.sampled_from([4, 8]),
+    issue_policy=st.sampled_from(["OLDEST", "OPT_LAST", "SPEC_LAST",
+                                  "BRANCH_FIRST"]),
+    bigq=st.booleans(),
+    itag=st.booleans(),
+    optimistic_issue=st.booleans(),
+)
+
+
+@given(config_strategy)
+@settings(max_examples=15, deadline=None, derandomize=True)
+def test_simulator_invariants_hold_for_any_config(config):
+    sim = Simulator(config, standard_mix(config.n_threads, 0))
+    result = sim.run(warmup_cycles=100, measure_cycles=700,
+                     functional_warmup_instructions=4000)
+    assert result.committed >= 0
+    assert 0 <= result.ipc <= config.fetch_width
+    assert len(sim.int_queue) <= config.iq_capacity
+    assert len(sim.fp_queue) <= config.iq_capacity
+    for thread in sim.threads:
+        assert thread.unissued_count >= 0
+        assert thread.unresolved_branches >= 0
+    # Register conservation.
+    for rf in (sim.renamer.int_file, sim.renamer.fp_file):
+        free = set(rf.free_list)
+        mapped = {p for m in rf.maps for p in m}
+        held = {
+            u.old_preg
+            for t in sim.threads for u in t.rob
+            if u.dest_preg is not None
+        }
+        assert free | mapped | held == set(range(rf.physical))
+
+
+# ----------------------------------------------------------------------
+# Tiny hand-rolled programs: the committed instruction stream must be a
+# prefix of the architectural (oracle) stream, whatever the timing does.
+# ----------------------------------------------------------------------
+@given(st.integers(2, 30), st.integers(0, 2**31))
+@settings(max_examples=20, deadline=None, derandomize=True)
+def test_committed_stream_matches_oracle(trip, seed):
+    import random
+    rng = random.Random(seed)
+    body = "\n".join(
+        f"    addi r{rng.randrange(1, 9)}, r{rng.randrange(1, 9)}, {rng.randrange(8)}"
+        for _ in range(rng.randrange(1, 6))
+    )
+    source = f"""
+    .text
+    _start:
+        li r1, {trip}
+    loop:
+{body}
+        addi r1, r1, -1
+        bnez r1, loop
+    done:
+        j done
+    """
+    program = assemble(source)
+    sim = Simulator(SMTConfig(n_threads=1), [program])
+    committed_pcs = []
+    sim.commit_listener = lambda uop: committed_pcs.append(uop.pc)
+    for _ in range(600):
+        sim.step()
+    assert committed_pcs, "nothing committed"
+    from repro.isa.emulator import Emulator
+    oracle = Emulator(program)
+    oracle_pcs = [oracle.step().pc for _ in range(len(committed_pcs))]
+    # The committed stream is exactly a prefix of the architectural one:
+    # timing may vary, architecture may not.
+    assert committed_pcs == oracle_pcs

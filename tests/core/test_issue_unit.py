@@ -1,0 +1,156 @@
+"""Unit tests for issue selection: FU limits and policy ordering
+(Section 6), driven through small controlled simulations."""
+
+import pytest
+
+from repro.core.config import SMTConfig
+from repro.core.simulator import Simulator
+from repro.isa.assembler import assemble
+
+from tests.core.test_pipeline_timing import make_sim
+
+
+def drain(sim, cycles):
+    seen = []
+    for _ in range(cycles):
+        sim.step()
+        for u in sim.threads[0].rob:
+            if u not in seen:
+                seen.append(u)
+    return seen
+
+
+class TestFunctionalUnitLimits:
+    def issued_per_cycle(self, sim, cycles, pred):
+        counts = {}
+        seen = set()
+        for _ in range(cycles):
+            sim.step()
+            for u in sim.threads[0].rob:
+                if id(u) in seen or u.issue_c < 0:
+                    continue
+                seen.add(id(u))
+                if pred(u):
+                    counts[u.issue_c] = counts.get(u.issue_c, 0) + 1
+        return counts
+
+    def test_int_issue_capped_at_6(self):
+        lines = [".text", "_start:"]
+        for i in range(64):
+            lines.append(f"addi r{(i % 7) + 1}, r0, {i}")
+        lines.append("loop:")
+        lines.append("j loop")
+        sim = make_sim("\n".join(lines))
+        counts = self.issued_per_cycle(
+            sim, 25, lambda u: not u.is_fp_op and not u.is_control
+        )
+        assert counts
+        assert max(counts.values()) <= 6
+
+    def test_fp_issue_capped_at_3(self):
+        lines = [".text", "_start:"]
+        for i in range(40):
+            lines.append(f"fadd f{(i % 7) + 1}, f12, f13")
+        lines.append("loop:")
+        lines.append("j loop")
+        sim = make_sim("\n".join(lines))
+        counts = self.issued_per_cycle(sim, 25, lambda u: u.is_fp_op)
+        assert counts
+        assert max(counts.values()) <= 3
+
+    def test_loads_capped_at_4(self):
+        lines = [".text", "_start:", "    li r20, 16384"]
+        for i in range(32):
+            lines.append(f"ld r{(i % 6) + 1}, {8 * i}(r20)")
+        lines.append("loop:")
+        lines.append("j loop")
+        sim = make_sim("\n".join(lines), warm_data=True)
+        counts = self.issued_per_cycle(sim, 30, lambda u: u.is_load)
+        assert counts
+        assert max(counts.values()) <= 4
+
+    def test_infinite_fus_exceed_caps(self):
+        lines = [".text", "_start:"]
+        for i in range(64):
+            lines.append(f"addi r{(i % 7) + 1}, r0, {i}")
+        lines.append("loop:")
+        lines.append("j loop")
+        sim = make_sim("\n".join(lines), infinite_fus=True)
+        counts = self.issued_per_cycle(
+            sim, 25, lambda u: not u.is_fp_op and not u.is_control
+        )
+        assert max(counts.values()) > 6
+
+
+class TestIssuePolicyOrdering:
+    def test_opt_last_defers_load_dependents(self):
+        """With OPT_LAST, an independent instruction competes ahead of
+        a load-dependent one in the same cycle."""
+        source = """
+        .data
+        buf: .word 5
+        .text
+        _start:
+            li r9, buf
+            ld r1, 0(r9)
+            addi r2, r1, 1
+            addi r3, r0, 7
+        loop:
+            j loop
+        """
+        sim = make_sim(source, warm_data=True, issue_policy="OPT_LAST")
+        seen = drain(sim, 30)
+        dependent = next(u for u in seen if u.instr.rs1 == 1)
+        independent = next(u for u in seen if u.instr.rd == 3)
+        assert independent.issue_c <= dependent.issue_c
+
+    def test_branch_first_prioritises_branches(self):
+        source = """
+        .text
+        _start:
+            addi r1, r0, 1
+            addi r2, r0, 2
+            addi r3, r0, 3
+            addi r4, r0, 4
+            addi r5, r0, 5
+            addi r6, r0, 6
+            beqz r0, target
+            addi r7, r0, 7
+        target:
+            addi r1, r1, 1
+        loop:
+            j loop
+        """
+        sim = make_sim(source, issue_policy="BRANCH_FIRST")
+        seen = drain(sim, 30)
+        branch = next(u for u in seen if u.is_cond_branch)
+        alus = [u for u in seen if u.instr.opcode.mnemonic == "addi"
+                and not u.wrong_path and u.seq < branch.seq]
+        # The branch never issues later than the oldest co-resident ALU
+        # op that entered the queue with it.
+        same_window = [u for u in alus if u.dispatch_c == branch.dispatch_c]
+        if same_window:
+            assert branch.issue_c <= max(u.issue_c for u in same_window)
+
+    @pytest.mark.parametrize("mode", ["no_pass_branch", "no_wrong_path"])
+    def test_speculation_restrictions_order_issue(self, mode):
+        source = """
+        .text
+        _start:
+            beqz r0, target
+            addi r1, r1, 1
+        target:
+            addi r2, r2, 1
+        loop:
+            j loop
+        """
+        sim = make_sim(source, speculation=mode)
+        seen = drain(sim, 40)
+        branch = next(u for u in seen if u.is_cond_branch)
+        younger = [u for u in seen
+                   if u.seq > branch.seq and u.issue_c >= 0
+                   and not u.wrong_path]
+        for u in younger:
+            assert u.issue_c >= branch.issue_c
+            if mode == "no_wrong_path":
+                assert u.issue_c >= branch.issue_c + 4

@@ -1,0 +1,250 @@
+"""Pipeline timing tests: the paper's Figure 2 penalties must be
+*emergent* from the stage structure, not hard-coded constants.
+
+These tests drive the simulator with tiny hand-written programs, step it
+cycle by cycle (no warmup), and inspect uop timestamps.
+"""
+
+import pytest
+
+from repro.core.config import SMTConfig
+from repro.core.simulator import Simulator
+from repro.core.uop import S_COMMITTED, S_SQUASHED
+from repro.isa.assembler import assemble
+from repro.isa.program import TEXT_BASE
+
+
+def make_sim(source: str, warm_data: bool = False, **config_kwargs) -> Simulator:
+    """Build a 1-thread simulator with a warm I-side (so fetch flows
+    from cycle 0) but a cold branch predictor (so first-execution
+    mispredicts are deterministic)."""
+    config_kwargs.setdefault("n_threads", 1)
+    sim = Simulator(SMTConfig(**config_kwargs), [assemble(source)])
+    thread = sim.threads[0]
+    program = thread.program
+    for pc in range(program.text_start, program.text_end, 64):
+        sim.hierarchy.warm_access(0, thread.phys_addr(pc), True)
+    if warm_data:
+        start = 0x0100_0000
+        # Warm at most 32 KiB (the L1 capacity) so early lines stay
+        # resident rather than being evicted by the tail of the sweep.
+        for addr in range(start, start + min(program.data.size, 1 << 15), 64):
+            sim.hierarchy.warm_access(0, thread.phys_addr(addr), False)
+    return sim
+
+
+def committed_uops(sim):
+    """All uops committed so far, in program order (helper)."""
+    return [u for u in sim.all_committed] if hasattr(sim, "all_committed") else None
+
+
+STRAIGHT_LINE = """
+.text
+_start:
+    addi r1, r0, 1
+    addi r2, r0, 2
+    addi r3, r0, 3
+    addi r4, r0, 4
+loop:
+    addi r5, r5, 1
+    j loop
+"""
+
+
+class TestStageTimings:
+    def test_front_end_stage_distances(self):
+        """fetch -> decode -> rename/dispatch -> earliest issue is
+        +1 per stage; first instructions issue at fetch + 3."""
+        sim = make_sim(STRAIGHT_LINE)
+        for _ in range(20):
+            sim.step()
+        thread = sim.threads[0]
+        # ROB may have drained; find any instruction we can check from
+        # the trace via still-in-flight entries, else re-run and capture.
+        sim2 = make_sim(STRAIGHT_LINE)
+        captured = []
+        for _ in range(8):
+            sim2.step()
+            for u in sim2.threads[0].rob:
+                if u not in captured:
+                    captured.append(u)
+        first = captured[0]
+        assert first.fetch_c == 0
+        assert first.decode_c == 1
+        assert first.dispatch_c == 2
+        assert first.issue_c == 3
+
+    def test_exec_offset_smt(self):
+        """Two register-read stages: issue -> exec distance is 3."""
+        sim = make_sim(STRAIGHT_LINE, smt_pipeline=True)
+        captured = []
+        for _ in range(10):
+            sim.step()
+            for u in sim.threads[0].rob:
+                if u not in captured:
+                    captured.append(u)
+        first = captured[0]
+        assert first.exec_c - first.issue_c == 3
+
+    def test_exec_offset_superscalar(self):
+        sim = make_sim(STRAIGHT_LINE, smt_pipeline=False)
+        captured = []
+        for _ in range(10):
+            sim.step()
+            for u in sim.threads[0].rob:
+                if u not in captured:
+                    captured.append(u)
+        first = captured[0]
+        assert first.exec_c - first.issue_c == 2
+
+    def test_dependent_single_cycle_ops_issue_back_to_back(self):
+        """Latency-1 chains must not stall (Section 2: the longer
+        pipeline does not increase inter-instruction latency)."""
+        source = """
+        .text
+        _start:
+            addi r1, r0, 1
+            addi r1, r1, 1
+            addi r1, r1, 1
+        loop:
+            j loop
+        """
+        sim = make_sim(source)
+        captured = []
+        for _ in range(12):
+            sim.step()
+            for u in sim.threads[0].rob:
+                if u not in captured and not u.wrong_path:
+                    captured.append(u)
+        chain = [u for u in captured if u.instr.opcode.mnemonic == "addi"]
+        assert chain[1].issue_c == chain[0].issue_c + 1
+        assert chain[2].issue_c == chain[1].issue_c + 1
+
+
+class TestMispredictPenalty:
+    """The branch misprediction penalty: 7 cycles on the SMT pipeline,
+    6 on the conventional superscalar pipeline (Figure 2)."""
+
+    # beqz r0 is always taken; a cold PHT predicts (weakly) not-taken,
+    # so the first execution is a guaranteed mispredict.
+    MISPREDICT = """
+    .text
+    _start:
+        beqz r0, target
+        addi r1, r1, 1
+        addi r2, r2, 1
+    target:
+        addi r3, r3, 1
+    loop:
+        j loop
+    """
+
+    def _first_mispredict_refetch(self, sim):
+        branch = None
+        target_uop = None
+        target_pc = TEXT_BASE + 12
+        for _ in range(40):
+            sim.step()
+            for u in sim.threads[0].rob:
+                if u.is_cond_branch and u.mispredicted and branch is None:
+                    branch = u
+                if u.pc == target_pc and not u.wrong_path and target_uop is None:
+                    target_uop = u
+            if branch is not None and target_uop is not None:
+                break
+        assert branch is not None and target_uop is not None
+        return branch, target_uop
+
+    def test_smt_penalty_is_7_cycles(self):
+        sim = make_sim(self.MISPREDICT, smt_pipeline=True)
+        branch, target = self._first_mispredict_refetch(sim)
+        assert branch.fetch_c == 0
+        assert branch.issue_c == 3      # issued immediately (r0 ready)
+        assert branch.exec_c == 6
+        assert target.fetch_c == 7      # mispredict penalty 7
+
+    def test_superscalar_penalty_is_6_cycles(self):
+        sim = make_sim(self.MISPREDICT, smt_pipeline=False)
+        branch, target = self._first_mispredict_refetch(sim)
+        assert branch.exec_c == 5
+        assert target.fetch_c == 6      # mispredict penalty 6
+
+    def test_wrong_path_instructions_squashed(self):
+        sim = make_sim(self.MISPREDICT)
+        wrong_path = []
+        for _ in range(40):
+            sim.step()
+            for u in sim.threads[0].rob:
+                if u.wrong_path and u not in wrong_path:
+                    wrong_path.append(u)
+        assert wrong_path  # the two addi after the branch were fetched
+        for u in wrong_path:
+            assert u.state == S_SQUASHED
+
+    def test_itag_adds_a_cycle(self):
+        sim = make_sim(self.MISPREDICT, smt_pipeline=True, itag=True)
+        branch, target = self._first_mispredict_refetch(sim)
+        assert target.fetch_c - branch.exec_c == 2  # 7 + 1 total
+
+
+class TestMisfetchPenalty:
+    """A taken direct jump with a cold BTB redirects at decode:
+    2 cycles of lost fetch (3 with ITAG)."""
+
+    MISFETCH = """
+    .text
+    _start:
+        j target
+        addi r1, r1, 1
+    target:
+        addi r2, r2, 1
+    loop:
+        j loop
+    """
+
+    def _target_fetch_cycle(self, sim):
+        target_pc = TEXT_BASE + 8
+        for _ in range(30):
+            sim.step()
+            for u in sim.threads[0].rob:
+                if u.pc == target_pc and not u.wrong_path:
+                    return u.fetch_c
+        pytest.fail("target never fetched")
+
+    def test_misfetch_costs_2_cycles(self):
+        sim = make_sim(self.MISFETCH)
+        assert self._target_fetch_cycle(sim) == 2
+
+    def test_itag_misfetch_costs_3_cycles(self):
+        sim = make_sim(self.MISFETCH, itag=True)
+        assert self._target_fetch_cycle(sim) == 3
+
+    def test_btb_hit_removes_the_bubble(self):
+        """Once the BTB knows the target, the jump redirects at fetch."""
+        source = """
+        .text
+        _start:
+            addi r9, r9, 1
+        loop:
+            addi r1, r1, 1
+            j loop
+        """
+        sim = make_sim(source)
+        for _ in range(60):
+            sim.step()
+        fetches = {}
+        sim2 = make_sim(source)
+        seen = []
+        for _ in range(60):
+            sim2.step()
+            for u in sim2.threads[0].rob:
+                if u not in seen:
+                    seen.append(u)
+        jumps = [u for u in seen if u.instr.opcode.mnemonic == "j"]
+        addis = [u for u in seen if u.pc == TEXT_BASE + 4]
+        # Late loop iterations: addi refetched the cycle right after the
+        # preceding jump fetched (no misfetch bubble).
+        late_jump = jumps[-2]
+        following = [a for a in addis if a.fetch_c > late_jump.fetch_c]
+        assert following
+        assert following[0].fetch_c == late_jump.fetch_c + 1

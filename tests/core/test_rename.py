@@ -1,0 +1,178 @@
+"""Unit tests for register renaming."""
+
+import pytest
+
+from repro.core.rename import NEVER, RegisterFile, Renamer
+from repro.core.uop import Uop
+from repro.isa.instructions import Instruction, Opcode, RegFile
+
+
+def make_uop(instr, tid=0, seq=0):
+    return Uop(tid, seq, 0x10000, instr, wrong_path=False)
+
+
+def add(rd=1, rs1=2, rs2=3):
+    return make_uop(Instruction(Opcode.ADD, rd=rd, rs1=rs1, rs2=rs2))
+
+
+class TestRegisterFile:
+    def test_architectural_mapping(self):
+        rf = RegisterFile(n_threads=2, physical=100)
+        assert rf.lookup(0, 0) == 0
+        assert rf.lookup(1, 0) == 32
+        assert rf.free_count == 100 - 64
+
+    def test_needs_more_than_architectural(self):
+        with pytest.raises(ValueError):
+            RegisterFile(n_threads=2, physical=64)
+
+    def test_allocate_exhausts(self):
+        rf = RegisterFile(n_threads=1, physical=34)
+        assert rf.allocate() is not None
+        assert rf.allocate() is not None
+        assert rf.allocate() is None
+
+    def test_release_recycles(self):
+        rf = RegisterFile(n_threads=1, physical=33)
+        p = rf.allocate()
+        assert rf.allocate() is None
+        rf.release(p)
+        assert rf.allocate() == p
+
+
+class TestRename:
+    def test_dest_gets_fresh_preg(self):
+        r = Renamer(1, 132)
+        uop = add()
+        assert r.rename(uop)
+        assert uop.dest_preg is not None
+        assert uop.dest_preg >= 32
+        assert uop.old_preg == 1  # architectural mapping of r1
+
+    def test_sources_resolve_to_current_mapping(self):
+        r = Renamer(1, 132)
+        first = add(rd=5)
+        r.rename(first)
+        second = make_uop(Instruction(Opcode.ADD, rd=6, rs1=5, rs2=5))
+        r.rename(second)
+        assert second.src_pregs == (
+            (first.dest_preg, False), (first.dest_preg, False)
+        )
+
+    def test_threads_have_independent_maps(self):
+        r = Renamer(2, 200)
+        a = make_uop(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3), tid=0)
+        b = make_uop(Instruction(Opcode.ADD, rd=6, rs1=1, rs2=1), tid=1)
+        r.rename(a)
+        r.rename(b)
+        # Thread 1's r1 is still its architectural register.
+        assert b.src_pregs[0][0] == 32 + 1
+
+    def test_fp_and_int_files_separate(self):
+        r = Renamer(1, 132)
+        fp = make_uop(Instruction(Opcode.FADD, rd=1, rs1=2, rs2=3,
+                                  rd_file=RegFile.FP, rs1_file=RegFile.FP,
+                                  rs2_file=RegFile.FP))
+        r.rename(fp)
+        assert fp.dest_is_fp
+        assert r.int_file.lookup(0, 1) == 1  # int map untouched
+
+    def test_out_of_registers_returns_false_without_side_effects(self):
+        r = Renamer(1, 33)  # one single excess register
+        first = add(rd=1)
+        assert r.rename(first)
+        second = add(rd=2)
+        assert not r.rename(second)
+        assert second.dest_preg is None
+        assert r.int_file.lookup(0, 2) == 2  # mapping unchanged
+
+    def test_store_needs_no_destination(self):
+        r = Renamer(1, 33)
+        store = make_uop(Instruction(Opcode.ST, rs1=1, rs2=2))
+        first = add()
+        r.rename(first)           # uses the only excess register
+        assert r.rename(store)    # still renames fine
+
+
+class TestCommitAndRollback:
+    def test_commit_frees_old_mapping(self):
+        r = Renamer(1, 133)
+        uop = add(rd=1)
+        r.rename(uop)
+        before = r.int_file.free_count
+        r.commit(uop)
+        assert r.int_file.free_count == before + 1
+        assert 1 in r.int_file.free_list  # old architectural r1 freed
+
+    def test_rollback_restores_mapping_and_frees(self):
+        r = Renamer(1, 133)
+        uop = add(rd=1)
+        r.rename(uop)
+        allocated = uop.dest_preg
+        r.rollback(uop)
+        assert r.int_file.lookup(0, 1) == 1
+        assert allocated in r.int_file.free_list
+
+    def test_rollback_in_reverse_order(self):
+        r = Renamer(1, 140)
+        a, b = add(rd=1), add(rd=1)
+        r.rename(a)
+        r.rename(b)
+        r.rollback(b)
+        assert r.int_file.lookup(0, 1) == a.dest_preg
+        r.rollback(a)
+        assert r.int_file.lookup(0, 1) == 1
+
+    def test_conservation_after_mixed_operations(self):
+        r = Renamer(2, 200)
+        uops = []
+        for i in range(20):
+            u = make_uop(Instruction(Opcode.ADD, rd=i % 8 + 1, rs1=2, rs2=3),
+                         tid=i % 2, seq=i)
+            assert r.rename(u)
+            uops.append(u)
+        for u in uops[:10]:
+            r.commit(u)
+        for u in reversed(uops[10:]):
+            r.rollback(u)
+        assert r.check_conservation()
+        # Everything either free or architecturally mapped.
+        mapped = {p for m in r.int_file.maps for p in m}
+        free = set(r.int_file.free_list)
+        assert mapped | free == set(range(200))
+
+
+class TestWakeup:
+    def test_set_and_retract(self):
+        r = Renamer(1, 133)
+        uop = add()
+        r.rename(uop)
+        r.set_wakeup(uop, 42)
+        assert r.file_for(False).ready[uop.dest_preg] == 42
+        r.retract_wakeup(uop)
+        assert r.file_for(False).ready[uop.dest_preg] == NEVER
+
+    def test_sources_ready_semantics(self):
+        r = Renamer(1, 140)
+        producer = add(rd=4)
+        r.rename(producer)
+        consumer = make_uop(Instruction(Opcode.ADD, rd=5, rs1=4, rs2=4))
+        r.rename(consumer)
+        assert not r.sources_ready(consumer, 100)
+        r.set_wakeup(producer, 50)
+        assert not r.sources_ready(consumer, 49)
+        assert r.sources_ready(consumer, 50)
+
+    def test_architectural_registers_ready_from_start(self):
+        r = Renamer(1, 132)
+        consumer = add()
+        r.rename(consumer)
+        assert r.sources_ready(consumer, 0)
+
+    def test_producer_tracking(self):
+        r = Renamer(1, 133)
+        uop = add()
+        r.rename(uop)
+        assert r.file_for(False).producer[uop.dest_preg] is uop
+        r.confirm_producer(uop)
+        assert r.file_for(False).producer[uop.dest_preg] is None

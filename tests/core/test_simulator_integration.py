@@ -1,0 +1,207 @@
+"""Integration tests: the full machine on real (synthetic) workloads.
+
+These run short simulations across configurations and check global
+invariants — forward progress, statistics consistency, resource
+conservation — rather than exact numbers.
+"""
+
+import pytest
+
+from repro.core.config import SMTConfig, scheme
+from repro.core.simulator import Simulator
+from repro.workloads.mixes import standard_mix
+
+FAST = dict(warmup_cycles=300, measure_cycles=2500,
+            functional_warmup_instructions=15000)
+
+
+def run(config, rotation=0, **kwargs):
+    budget = dict(FAST)
+    budget.update(kwargs)
+    sim = Simulator(config, standard_mix(config.n_threads, rotation))
+    return sim, sim.run(**budget)
+
+
+def check_register_conservation(sim):
+    """Every physical register is free, architecturally mapped, or the
+    old mapping of exactly one in-flight instruction."""
+    for rf in (sim.renamer.int_file, sim.renamer.fp_file):
+        free = set(rf.free_list)
+        assert len(free) == len(rf.free_list), "duplicate free-list entries"
+        mapped = {p for tmap in rf.maps for p in tmap}
+        assert not (free & mapped), "freed register still mapped"
+        held = set()
+        for thread in sim.threads:
+            for uop in thread.rob:
+                if uop.dest_preg is not None:
+                    held.add(uop.old_preg)
+        accounted = free | mapped | held
+        assert accounted == set(range(rf.physical)), (
+            f"unaccounted registers: {set(range(rf.physical)) - accounted}"
+        )
+
+
+class TestForwardProgress:
+    @pytest.mark.parametrize("n_threads", [1, 2, 4, 8])
+    def test_commits_instructions(self, n_threads):
+        _, result = run(SMTConfig(n_threads=n_threads))
+        assert result.committed > 500
+        assert result.ipc > 0.2
+
+    def test_every_thread_progresses(self):
+        _, result = run(SMTConfig(n_threads=8))
+        assert len(result.committed_per_thread) == 8
+        for tid, count in result.committed_per_thread.items():
+            assert count > 0, f"thread {tid} starved"
+
+    @pytest.mark.parametrize("policy", ["RR", "BRCOUNT", "MISSCOUNT",
+                                        "ICOUNT", "IQPOSN"])
+    def test_all_fetch_policies_run(self, policy):
+        _, result = run(scheme(policy, 2, 8, n_threads=4))
+        assert result.committed > 500
+
+    @pytest.mark.parametrize("num1,num2", [(1, 8), (2, 4), (4, 2), (2, 8)])
+    def test_all_partitionings_run(self, num1, num2):
+        _, result = run(scheme("RR", num1, num2, n_threads=4))
+        assert result.committed > 500
+
+    @pytest.mark.parametrize("issue", ["OLDEST", "OPT_LAST", "SPEC_LAST",
+                                       "BRANCH_FIRST"])
+    def test_all_issue_policies_run(self, issue):
+        _, result = run(SMTConfig(n_threads=4, issue_policy=issue))
+        assert result.committed > 500
+
+    def test_bigq(self):
+        _, result = run(SMTConfig(n_threads=4, bigq=True))
+        assert result.committed > 500
+
+    def test_itag(self):
+        _, result = run(SMTConfig(n_threads=4, itag=True))
+        assert result.committed > 500
+
+    def test_perfect_branch_prediction(self):
+        _, result = run(SMTConfig(n_threads=4, perfect_branch_prediction=True))
+        assert result.committed > 500
+        assert result.branch_mispredict_rate == 0.0
+        assert result.wrong_path_fetched_frac == 0.0
+
+    def test_infinite_fus(self):
+        _, result = run(SMTConfig(n_threads=4, infinite_fus=True))
+        assert result.committed > 500
+
+    def test_infinite_memory_bandwidth(self):
+        _, result = run(SMTConfig(n_threads=4, infinite_memory_bandwidth=True))
+        assert result.committed > 500
+
+    @pytest.mark.parametrize("mode", ["no_pass_branch", "no_wrong_path"])
+    def test_restricted_speculation(self, mode):
+        _, result = run(SMTConfig(n_threads=2, speculation=mode))
+        assert result.committed > 300
+
+    def test_superscalar_pipeline(self):
+        _, result = run(SMTConfig(n_threads=1, smt_pipeline=False))
+        assert result.committed > 500
+
+    def test_phys_regs_total(self):
+        _, result = run(scheme("ICOUNT", 2, 8, n_threads=4,
+                               phys_regs_total=200))
+        assert result.committed > 500
+
+
+class TestInvariants:
+    def test_register_conservation_after_run(self):
+        sim, _ = run(SMTConfig(n_threads=4))
+        check_register_conservation(sim)
+
+    def test_register_conservation_with_heavy_speculation(self):
+        sim, _ = run(SMTConfig(n_threads=8))
+        check_register_conservation(sim)
+
+    def test_queue_entries_bounded(self):
+        sim, _ = run(SMTConfig(n_threads=8))
+        assert len(sim.int_queue) <= sim.cfg.iq_capacity
+        assert len(sim.fp_queue) <= sim.cfg.iq_capacity
+
+    def test_icount_counters_match_rob(self):
+        sim, _ = run(scheme("ICOUNT", 2, 8, n_threads=4))
+        from repro.core.uop import S_DECODED, S_FETCHED, S_QUEUED
+        for thread in sim.threads:
+            actual = sum(
+                1 for u in thread.rob
+                if u.state in (S_FETCHED, S_DECODED, S_QUEUED)
+            )
+            assert thread.unissued_count == actual
+
+    def test_brcount_counters_match_rob(self):
+        sim, _ = run(scheme("BRCOUNT", 1, 8, n_threads=4))
+        from repro.core.uop import S_DONE
+        for thread in sim.threads:
+            actual = sum(
+                1 for u in thread.rob
+                if u.is_control and u.state != S_DONE
+            )
+            assert thread.unresolved_branches == actual
+
+    def test_oracle_stays_in_sync(self):
+        """After heavy squashing the correct-path fetch stream must
+        still match the emulator's architectural path (the fetch unit
+        asserts this internally; run long enough to exercise it)."""
+        sim, result = run(SMTConfig(n_threads=2), measure_cycles=4000)
+        assert result.committed > 1000
+
+    def test_stats_fractions_in_range(self):
+        _, result = run(SMTConfig(n_threads=8))
+        for name in (
+            "wrong_path_fetched_frac", "wrong_path_issued_frac",
+            "squashed_optimistic_frac", "int_iq_full_frac",
+            "fp_iq_full_frac", "out_of_registers_frac",
+            "branch_mispredict_rate", "jump_mispredict_rate",
+        ):
+            value = getattr(result, name)
+            assert 0.0 <= value <= 1.0, f"{name} = {value}"
+
+    def test_ipc_bounded_by_widths(self):
+        _, result = run(SMTConfig(n_threads=8))
+        assert result.ipc <= 8.0  # fetch/decode bound
+
+    def test_cache_stats_consistent(self):
+        _, result = run(SMTConfig(n_threads=4))
+        for cache in (result.icache, result.dcache, result.l2, result.l3):
+            assert 0 <= cache.misses <= cache.accesses
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        _, a = run(SMTConfig(n_threads=4))
+        _, b = run(SMTConfig(n_threads=4))
+        assert a.committed == b.committed
+        assert a.ipc == b.ipc
+        assert a.fetched_wrong_path == b.fetched_wrong_path \
+            if hasattr(a, "fetched_wrong_path") else True
+
+    def test_different_rotations_differ(self):
+        _, a = run(SMTConfig(n_threads=2), rotation=0)
+        _, b = run(SMTConfig(n_threads=2), rotation=1)
+        assert a.committed != b.committed  # different programs
+
+
+class TestQualitativeShapes:
+    """Coarse sanity versions of the paper's headline results (the
+    benchmarks assert these with bigger budgets)."""
+
+    def test_smt_single_thread_close_to_superscalar(self):
+        _, smt = run(SMTConfig(n_threads=1), measure_cycles=5000)
+        _, ss = run(SMTConfig(n_threads=1, smt_pipeline=False),
+                    measure_cycles=5000)
+        assert smt.ipc > 0.75 * ss.ipc  # paper: within 2%
+
+    def test_throughput_grows_with_threads(self):
+        _, one = run(SMTConfig(n_threads=1), measure_cycles=5000)
+        _, four = run(SMTConfig(n_threads=4), measure_cycles=5000)
+        assert four.ipc > one.ipc
+
+    def test_icount_beats_rr_at_8_threads(self):
+        _, rr = run(scheme("RR", 2, 8, n_threads=8), measure_cycles=5000)
+        _, icount = run(scheme("ICOUNT", 2, 8, n_threads=8),
+                        measure_cycles=5000)
+        assert icount.ipc > rr.ipc

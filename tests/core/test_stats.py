@@ -1,0 +1,57 @@
+"""Unit tests for the statistics container."""
+
+from repro.core.stats import Stats
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        s = Stats(cycles=100, committed=250)
+        assert s.ipc == 2.5
+
+    def test_zero_cycles_safe(self):
+        s = Stats()
+        assert s.ipc == 0.0
+        assert s.fetch_per_cycle == 0.0
+        assert s.avg_queue_population == 0.0
+
+    def test_wrong_path_fractions(self):
+        s = Stats(fetched_total=200, fetched_wrong_path=30,
+                  issued_total=100, issued_wrong_path=5)
+        assert s.wrong_path_fetched_frac == 0.15
+        assert s.wrong_path_issued_frac == 0.05
+
+    def test_useful_fetch_excludes_wrong_path(self):
+        s = Stats(cycles=100, fetched_total=500, fetched_wrong_path=100)
+        assert s.useful_fetch_per_cycle == 4.0
+        assert s.fetch_per_cycle == 5.0
+
+    def test_queue_fractions(self):
+        s = Stats(cycles=200, int_iq_full_cycles=30, fp_iq_full_cycles=10)
+        assert s.int_iq_full_frac == 0.15
+        assert s.fp_iq_full_frac == 0.05
+
+    def test_mispredict_rates(self):
+        s = Stats(cond_branches_resolved=50, cond_branch_mispredicts=5,
+                  jumps_resolved=10, jump_mispredicts=1)
+        assert s.branch_mispredict_rate == 0.1
+        assert s.jump_mispredict_rate == 0.1
+
+    def test_rates_safe_with_no_branches(self):
+        s = Stats()
+        assert s.branch_mispredict_rate == 0.0
+        assert s.jump_mispredict_rate == 0.0
+
+    def test_mpki(self):
+        s = Stats(committed=10000)
+        assert s.mpki(50) == 5.0
+
+    def test_mpki_no_commits(self):
+        assert Stats().mpki(50) == 0.0
+
+    def test_squashed_optimistic_frac(self):
+        s = Stats(issued_total=200, squashed_optimistic=14)
+        assert s.squashed_optimistic_frac == 0.07
+
+    def test_avg_queue_population(self):
+        s = Stats(cycles=10, queue_population_sum=300)
+        assert s.avg_queue_population == 30.0

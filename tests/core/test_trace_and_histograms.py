@@ -1,0 +1,218 @@
+"""Tests for the pipeline tracer and the histogram analytics."""
+
+import pytest
+
+from repro.core.config import SMTConfig
+from repro.core.histograms import Histogram, MetricsCollector
+from repro.core.simulator import Simulator
+from repro.core.trace import PipelineTracer, TraceRecord
+from repro.isa.assembler import assemble
+
+from tests.core.test_pipeline_timing import make_sim
+
+LOOP = """
+.text
+_start:
+    addi r1, r0, 1
+loop:
+    addi r2, r2, 1
+    addi r3, r3, 1
+    beqz r0, loop
+"""
+
+
+class TestHistogram:
+    def test_basic_stats(self):
+        h = Histogram("x")
+        for v in (1, 2, 2, 3, 10):
+            h.add(v)
+        assert h.count == 5
+        assert h.mean == pytest.approx(3.6)
+        assert h.min == 1 and h.max == 10
+
+    def test_percentiles(self):
+        h = Histogram("x")
+        for v in range(100):
+            h.add(v)
+        assert h.percentile(50) in (49, 50)
+        assert h.percentile(99) >= 95
+        assert h.percentile(0) == 0
+
+    def test_bucketing(self):
+        h = Histogram("x", bucket_width=10)
+        h.add(5)
+        h.add(14)
+        h.add(15)
+        assert h.buckets == {0: 1, 1: 2}
+
+    def test_overflow_bucket_caps(self):
+        h = Histogram("x", bucket_width=1, max_buckets=4)
+        h.add(1000)
+        assert max(h.buckets) == 3
+
+    def test_merge(self):
+        a, b = Histogram("x"), Histogram("x")
+        a.add(1)
+        b.add(3)
+        a.merge(b)
+        assert a.count == 2 and a.min == 1 and a.max == 3
+
+    def test_merge_rejects_mismatched_width(self):
+        with pytest.raises(ValueError):
+            Histogram("x", 1).merge(Histogram("y", 2))
+
+    def test_render_empty(self):
+        assert "no samples" in Histogram("empty").render()
+
+    def test_render_contains_bars(self):
+        h = Histogram("x")
+        for _ in range(5):
+            h.add(2)
+        out = h.render()
+        assert "#" in out and "n=5" in out
+
+    def test_bad_bucket_width(self):
+        with pytest.raises(ValueError):
+            Histogram("x", bucket_width=0)
+
+    def test_bad_percentile(self):
+        with pytest.raises(ValueError):
+            Histogram("x").percentile(150)
+
+
+class TestMetricsCollector:
+    def test_collects_from_simulation(self):
+        sim = make_sim(LOOP)
+        collector = MetricsCollector(sim)
+        for _ in range(100):
+            sim.step()
+        assert collector.queue_wait.count > 10
+        assert collector.residency.count > 10
+        assert collector.residency.mean >= 4  # 6-cycle min minus slack
+
+    def test_fairness_single_thread(self):
+        sim = make_sim(LOOP)
+        collector = MetricsCollector(sim)
+        for _ in range(60):
+            sim.step()
+        assert collector.fairness() == pytest.approx(1.0)
+
+    def test_report_renders(self):
+        sim = make_sim(LOOP)
+        collector = MetricsCollector(sim)
+        for _ in range(60):
+            sim.step()
+        report = collector.report()
+        assert "queue wait" in report and "fairness" in report
+
+    def test_detach_restores_listener(self):
+        sim = make_sim(LOOP)
+        sentinel = []
+        sim.commit_listener = lambda u: sentinel.append(u)
+        collector = MetricsCollector(sim)
+        collector.detach()
+        for _ in range(40):
+            sim.step()
+        assert sentinel  # original listener still active
+        assert collector.residency.count == 0
+
+    def test_chained_listeners(self):
+        sim = make_sim(LOOP)
+        sentinel = []
+        sim.commit_listener = lambda u: sentinel.append(u)
+        collector = MetricsCollector(sim)
+        for _ in range(40):
+            sim.step()
+        assert sentinel and collector.residency.count == len(sentinel)
+
+
+class TestPipelineTracer:
+    def test_records_committed_instructions(self):
+        sim = make_sim(LOOP)
+        tracer = PipelineTracer(sim)
+        for _ in range(60):
+            sim.step()
+        assert tracer.records
+        first = tracer.records[0]
+        assert first.fetch_c >= 0
+        assert first.commit_c > first.fetch_c
+
+    def test_records_squashed_wrong_path(self):
+        source = """
+        .text
+        _start:
+            beqz r0, target
+            addi r1, r1, 1
+            addi r2, r2, 1
+        target:
+            addi r3, r3, 1
+        loop:
+            j loop
+        """
+        sim = make_sim(source)
+        tracer = PipelineTracer(sim)
+        for _ in range(40):
+            sim.step()
+        squashed = [r for r in tracer.records if r.squashed]
+        assert squashed
+        assert all(r.commit_c == -1 for r in squashed)
+
+    def test_render_shows_stage_letters(self):
+        sim = make_sim(LOOP)
+        tracer = PipelineTracer(sim)
+        for _ in range(40):
+            sim.step()
+        text = tracer.render(0, 30)
+        for letter in ("F", "D", "n", "I", "E", "C"):
+            assert letter in text
+
+    def test_window_filters_by_thread(self):
+        sim = make_sim(LOOP)
+        tracer = PipelineTracer(sim)
+        for _ in range(40):
+            sim.step()
+        assert tracer.window(0, 40, tid=5) == []
+        assert tracer.window(0, 40, tid=0)
+
+    def test_max_records_cap(self):
+        sim = make_sim(LOOP)
+        tracer = PipelineTracer(sim, max_records=5)
+        for _ in range(80):
+            sim.step()
+        assert len(tracer.records) == 5
+
+    def test_lane_width_matches_window(self):
+        record = TraceRecord(
+            tid=0, seq=0, pc=0x10000, text="nop", wrong_path=False,
+            squashed=False, fetch_c=2, decode_c=3, dispatch_c=4,
+            issue_c=5, exec_c=8, complete_c=8, commit_c=9,
+        )
+        assert len(record.lane(0, 20)) == 20
+        assert record.lane(0, 20)[2] == "F"
+        assert record.lane(0, 20)[9] == "C"
+
+
+class TestHybridPolicy:
+    def test_icount_brcount_runs(self):
+        from repro.core.config import scheme
+        from repro.workloads.mixes import standard_mix
+        config = scheme("ICOUNT_BRCOUNT", 2, 8, n_threads=4)
+        sim = Simulator(config, standard_mix(4, 0))
+        result = sim.run(warmup_cycles=200, measure_cycles=1500,
+                         functional_warmup_instructions=8000)
+        assert result.committed > 500
+
+    def test_ordering_weights_branches(self):
+        from repro.core.fetch_policy import priority_order
+        from repro.core.queues import InstructionQueue
+        from repro.core.thread import ThreadContext
+        program = assemble(".text\nloop:\n j loop")
+        threads = [ThreadContext(t, program) for t in range(2)]
+        threads[0].unissued_count = 4     # no branches
+        threads[1].unissued_count = 1
+        threads[1].unresolved_branches = 2  # 1 + 3*2 = 7 > 4
+        int_q = InstructionQueue("int", 32, 32)
+        fp_q = InstructionQueue("fp", 32, 32)
+        order = priority_order("ICOUNT_BRCOUNT", threads, 0, 0, 2,
+                               int_q, fp_q)
+        assert [t.tid for t in order] == [0, 1]

@@ -1,0 +1,62 @@
+"""Unit tests for the dynamic instruction record."""
+
+from repro.core.uop import (
+    S_COMMITTED,
+    S_FETCHED,
+    S_SQUASHED,
+    STATE_NAMES,
+    Uop,
+)
+from repro.isa.instructions import Instruction, Opcode, RegFile
+
+
+def test_initial_state():
+    uop = Uop(2, 7, 0x10040, Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3),
+              wrong_path=False)
+    assert uop.state == S_FETCHED
+    assert uop.tid == 2 and uop.seq == 7
+    assert uop.issue_c == -1 and uop.exec_c == -1
+    assert not uop.iq_freed
+    assert uop.squash_count == 0
+
+
+def test_cached_predicates_match_instruction():
+    cases = [
+        (Instruction(Opcode.LD, rd=1, rs1=2), "is_load"),
+        (Instruction(Opcode.ST, rs1=1, rs2=2), "is_store"),
+        (Instruction(Opcode.BNEZ, rs1=1, target=0x10000), "is_cond_branch"),
+        (Instruction(Opcode.J, target=0x10000), "is_control"),
+        (Instruction(Opcode.FADD, rd=1, rs1=2, rs2=3, rd_file=RegFile.FP,
+                     rs1_file=RegFile.FP, rs2_file=RegFile.FP), "is_fp_op"),
+    ]
+    for instr, attribute in cases:
+        uop = Uop(0, 0, 0x10000, instr, False)
+        assert getattr(uop, attribute)
+
+
+def test_latency_cached():
+    uop = Uop(0, 0, 0x10000, Instruction(Opcode.MUL, rd=1, rs1=2, rs2=3),
+              False)
+    assert uop.latency == 8
+
+
+def test_repr_mentions_state_and_path():
+    uop = Uop(1, 3, 0x10004, Instruction(Opcode.NOP), wrong_path=True)
+    uop.state = S_SQUASHED
+    text = repr(uop)
+    assert "squashed" in text and "WP" in text
+
+
+def test_state_names_cover_all_states():
+    for state in (S_FETCHED, S_COMMITTED, S_SQUASHED):
+        assert state in STATE_NAMES
+
+
+def test_slots_prevent_arbitrary_attributes():
+    uop = Uop(0, 0, 0x10000, Instruction(Opcode.NOP), False)
+    try:
+        uop.not_a_field = 1
+    except AttributeError:
+        pass
+    else:
+        raise AssertionError("__slots__ should reject unknown attributes")

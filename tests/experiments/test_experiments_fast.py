@@ -1,0 +1,106 @@
+"""Fast end-to-end checks of the figure/table harnesses (tiny budgets).
+
+These verify the harness *machinery* — that every experiment runs,
+returns well-formed rows, and prints without error.  The qualitative
+shape assertions live in the benchmark suite with real budgets.
+"""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.experiments import bottlenecks, figures, tables
+from repro.experiments.runner import RunBudget
+
+TINY = RunBudget(warmup_cycles=100, measure_cycles=500,
+                 functional_warmup_instructions=2000, rotations=1)
+
+
+def prints_ok(fn, *args):
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        fn(*args)
+    assert buf.getvalue().strip()
+
+
+class TestFigures:
+    def test_figure3(self):
+        data = figures.figure3(budget=TINY, thread_counts=(1, 2))
+        assert "RR.1.8" in data and "Unmodified Superscalar" in data
+        assert len(data["RR.1.8"]) == 2
+        prints_ok(figures.print_figure3, data)
+
+    def test_figure4(self):
+        data = figures.figure4(budget=TINY, thread_counts=(2,))
+        assert set(data) == {"RR.1.8", "RR.2.4", "RR.4.2", "RR.2.8"}
+        prints_ok(figures.print_figure4, data)
+
+    def test_figure5(self):
+        data = figures.figure5(budget=TINY, thread_counts=(2,),
+                               partitions=((1, 8),))
+        assert "ICOUNT.1.8" in data and "RR.1.8" in data
+        assert len(data) == 5
+        prints_ok(figures.print_figure5, data)
+
+    def test_figure6(self):
+        data = figures.figure6(budget=TINY, thread_counts=(2,),
+                               partitions=((2, 8),))
+        assert set(data) == {"ICOUNT.2.8", "BIGQ,ICOUNT.2.8",
+                             "ITAG,ICOUNT.2.8"}
+        prints_ok(figures.print_figure6, data)
+
+    def test_figure7(self):
+        points = figures.figure7(budget=TINY, thread_counts=(1, 2))
+        assert [p.n_threads for p in points] == [1, 2]
+        prints_ok(figures.print_figure7, points)
+
+
+class TestTables:
+    def test_table3(self):
+        points = tables.table3(budget=TINY, thread_counts=(1, 2))
+        assert set(points) == {1, 2}
+        prints_ok(tables.print_table3, points)
+
+    def test_table4(self):
+        points = tables.table4(budget=TINY)
+        assert set(points) == {"1 thread", "RR.2.8", "ICOUNT.2.8"}
+        prints_ok(tables.print_table4, points)
+
+    def test_table5(self):
+        data = tables.table5(budget=TINY, thread_counts=(2,))
+        assert set(data) == {"OLDEST", "OPT_LAST", "SPEC_LAST",
+                             "BRANCH_FIRST"}
+        prints_ok(tables.print_table5, data)
+
+
+class TestBottlenecks:
+    def test_issue_bandwidth(self):
+        d = bottlenecks.issue_bandwidth(budget=TINY, n_threads=2)
+        assert set(d) == {"baseline", "infinite FUs"}
+
+    def test_queue_size(self):
+        d = bottlenecks.queue_size(budget=TINY, n_threads=2)
+        assert d["64-entry queues"].ipc >= 0
+
+    def test_fetch_bandwidth(self):
+        d = bottlenecks.fetch_bandwidth(budget=TINY, n_threads=2)
+        assert len(d) == 3
+
+    def test_branch_prediction(self):
+        d = bottlenecks.branch_prediction(budget=TINY, thread_counts=(2,))
+        assert len(d["perfect"]) == 1
+
+    def test_speculation(self):
+        d = bottlenecks.speculative_execution(budget=TINY, thread_counts=(2,))
+        assert len(d["no wrong-path issue"]) == 1
+
+    def test_memory(self):
+        d = bottlenecks.memory_throughput(budget=TINY, n_threads=2)
+        assert "infinite bandwidth" in d
+
+    def test_registers(self):
+        rows = bottlenecks.register_file_size(
+            budget=TINY, n_threads=2, excess_values=(80, 100)
+        )
+        assert [e for e, _ in rows] == [80, 100]

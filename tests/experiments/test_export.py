@@ -1,0 +1,99 @@
+"""Tests for result export and text charts."""
+
+import json
+import os
+import tempfile
+
+import pytest
+
+from repro.core.simulator import SimResult, CacheStats
+from repro.experiments.export import (
+    ascii_chart,
+    csv_text,
+    to_json,
+    to_rows,
+    write_csv,
+)
+from repro.experiments.runner import ExperimentPoint
+
+
+def fake_point(label, threads, ipc):
+    cache = CacheStats(accesses=100, misses=10, miss_rate=0.1, mpki=5.0)
+    result = SimResult(
+        config_name=label, n_threads=threads, cycles=1000,
+        committed=int(ipc * 1000), ipc=ipc,
+        useful_fetch_per_cycle=ipc, fetch_per_cycle=ipc * 1.1,
+        wrong_path_fetched_frac=0.1, wrong_path_issued_frac=0.05,
+        squashed_optimistic_frac=0.02, int_iq_full_frac=0.2,
+        fp_iq_full_frac=0.0, avg_queue_population=25.0,
+        out_of_registers_frac=0.03, branch_mispredict_rate=0.08,
+        jump_mispredict_rate=0.1, icache=cache, dcache=cache,
+        l2=cache, l3=cache,
+    )
+    return ExperimentPoint(label=label, n_threads=threads, ipc=ipc,
+                           results=[result])
+
+
+@pytest.fixture
+def data():
+    return {
+        "RR.1.8": [fake_point("RR.1.8", 1, 2.0), fake_point("RR.1.8", 8, 3.5)],
+        "ICOUNT.2.8": [fake_point("ICOUNT.2.8", 1, 2.0),
+                       fake_point("ICOUNT.2.8", 8, 5.2)],
+    }
+
+
+class TestRows:
+    def test_one_row_per_point(self, data):
+        rows = to_rows(data)
+        assert len(rows) == 4
+
+    def test_row_contents(self, data):
+        rows = to_rows(data)
+        row = next(r for r in rows if r["line"] == "ICOUNT.2.8"
+                   and r["threads"] == 8)
+        assert row["ipc"] == 5.2
+        assert row["dcache_miss_rate"] == 0.1
+
+
+class TestCsvJson:
+    def test_csv_text(self, data):
+        text = csv_text(data)
+        assert text.splitlines()[0].startswith("line,threads,ipc")
+        assert len(text.splitlines()) == 5
+
+    def test_write_csv(self, data, tmp_path):
+        path = os.path.join(tmp_path, "out.csv")
+        write_csv(data, path)
+        with open(path) as f:
+            assert len(f.readlines()) == 5
+
+    def test_write_csv_empty_rejected(self):
+        with pytest.raises(ValueError):
+            write_csv({}, "nowhere.csv")
+
+    def test_json_roundtrip(self, data):
+        rows = json.loads(to_json(data))
+        assert len(rows) == 4
+        assert {r["line"] for r in rows} == {"RR.1.8", "ICOUNT.2.8"}
+
+
+class TestAsciiChart:
+    def test_chart_contains_markers_and_legend(self, data):
+        chart = ascii_chart(data, title="IPC vs threads")
+        assert "IPC vs threads" in chart
+        assert "A = RR.1.8" in chart
+        assert "B = ICOUNT.2.8" in chart
+        assert "(threads)" in chart
+
+    def test_higher_series_plots_higher(self, data):
+        chart = ascii_chart(data)
+        lines = chart.splitlines()
+        # B's 8-thread point (5.2, the peak) should appear above A's 3.5.
+        b_rows = [i for i, l in enumerate(lines) if "B" in l and "|" in l]
+        a_rows = [i for i, l in enumerate(lines) if "A" in l and "|" in l]
+        assert min(b_rows) < min(a_rows)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})

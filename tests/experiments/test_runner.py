@@ -1,0 +1,71 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.core.config import SMTConfig
+from repro.experiments.runner import (
+    ExperimentPoint,
+    RunBudget,
+    average_runs,
+    run_config,
+    sweep_threads,
+)
+
+TINY = RunBudget(warmup_cycles=100, measure_cycles=600,
+                 functional_warmup_instructions=3000, rotations=2)
+
+
+class TestRunBudget:
+    def test_defaults(self):
+        budget = RunBudget()
+        assert budget.rotations >= 1
+        assert budget.measure_cycles > budget.warmup_cycles
+
+    def test_environment_fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        budget = RunBudget.from_environment()
+        assert budget.rotations == 1
+        assert budget.measure_cycles <= 10000
+
+    def test_environment_full(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAST", raising=False)
+        monkeypatch.setenv("REPRO_FULL", "1")
+        budget = RunBudget.from_environment()
+        assert budget.rotations >= 4
+
+
+class TestRunConfig:
+    def test_averages_rotations(self):
+        point = run_config(SMTConfig(n_threads=2), budget=TINY)
+        assert len(point.results) == 2
+        assert point.ipc == pytest.approx(
+            sum(r.ipc for r in point.results) / 2
+        )
+
+    def test_label_defaults_to_scheme(self):
+        point = run_config(SMTConfig(n_threads=1), budget=TINY)
+        assert point.label == "RR.1.8"
+
+    def test_metric_helper(self):
+        point = run_config(SMTConfig(n_threads=1), budget=TINY)
+        assert 0 <= point.metric("wrong_path_fetched_frac") <= 1
+
+    def test_cache_metric_helper(self):
+        point = run_config(SMTConfig(n_threads=1), budget=TINY)
+        assert 0 <= point.cache_metric("dcache", "miss_rate") <= 1
+
+
+class TestSweep:
+    def test_sweep_threads(self):
+        points = sweep_threads(
+            lambda t: SMTConfig(n_threads=t),
+            thread_counts=(1, 2), budget=TINY,
+        )
+        assert [p.n_threads for p in points] == [1, 2]
+
+    def test_average_runs(self):
+        points = [
+            ExperimentPoint("a", 1, 2.0),
+            ExperimentPoint("b", 1, 4.0),
+        ]
+        assert average_runs(points) == 3.0

@@ -1,0 +1,48 @@
+"""Tests for the sensitivity-sweep extensions."""
+
+import io
+from contextlib import redirect_stdout
+
+from repro.experiments import sensitivity
+from repro.experiments.runner import RunBudget
+
+TINY = RunBudget(warmup_cycles=100, measure_cycles=500,
+                 functional_warmup_instructions=2000, rotations=1)
+
+
+class TestSweeps:
+    def test_queue_size_sweep(self):
+        sweep = sensitivity.queue_size_sweep(budget=TINY, sizes=(16, 32),
+                                             n_threads=2)
+        assert [v for v, _ in sweep] == [16, 32]
+        assert all(p.ipc >= 0 for _, p in sweep)
+
+    def test_pht_size_sweep(self):
+        sweep = sensitivity.pht_size_sweep(budget=TINY, sizes=(256, 2048),
+                                           n_threads=2)
+        assert len(sweep) == 2
+
+    def test_ras_depth_sweep(self):
+        sweep = sensitivity.ras_depth_sweep(budget=TINY, depths=(1, 12),
+                                            n_threads=2)
+        assert len(sweep) == 2
+
+    def test_mshr_sweep(self):
+        sweep = sensitivity.mshr_sweep(budget=TINY, counts=(1, 16),
+                                       n_threads=2)
+        assert [v for v, _ in sweep] == [1, 16]
+
+    def test_contexts_at_register_budget_skips_impossible(self):
+        sweep = sensitivity.contexts_at_register_budget(
+            budget=TINY, total_registers=100, thread_counts=(1, 2, 4)
+        )
+        # 4 threads needs > 128 architectural registers: skipped.
+        assert [v for v, _ in sweep] == [1, 2]
+
+    def test_print_sweep(self):
+        sweep = sensitivity.queue_size_sweep(budget=TINY, sizes=(16,),
+                                             n_threads=1)
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            sensitivity.print_sweep("queues", sweep, " entries")
+        assert "best at" in buf.getvalue()

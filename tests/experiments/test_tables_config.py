@@ -1,0 +1,56 @@
+"""Tables 1 and 2 are configuration; their values must equal the paper's."""
+
+from repro.experiments.tables import table1, table2
+
+
+class TestTable1:
+    def test_values_match_paper(self):
+        t = table1()
+        assert t["integer multiply"] == 8
+        assert t["integer multiply (wide)"] == 16
+        assert t["conditional move"] == 2
+        assert t["compare"] == 0
+        assert t["all other integer"] == 1
+        assert t["FP divide"] == 17
+        assert t["FP divide (double)"] == 30
+        assert t["all other FP"] == 4
+        assert t["load (cache hit)"] == 1
+
+
+class TestTable2:
+    def test_sizes(self):
+        t = table2()
+        assert t["ICache"]["size"] == 32 * 1024
+        assert t["DCache"]["size"] == 32 * 1024
+        assert t["L2"]["size"] == 256 * 1024
+        assert t["L3"]["size"] == 2 * 1024 * 1024
+
+    def test_associativities(self):
+        t = table2()
+        assert t["ICache"]["associativity"] == 1
+        assert t["L2"]["associativity"] == 4
+        assert t["L3"]["associativity"] == 1
+
+    def test_banks_and_transfer(self):
+        t = table2()
+        assert t["ICache"]["banks"] == 8
+        assert t["L3"]["banks"] == 1
+        assert t["L3"]["transfer time"] == 4
+
+    def test_latencies(self):
+        t = table2()
+        assert t["ICache"]["latency to next"] == 6
+        assert t["DCache"]["latency to next"] == 6
+        assert t["L2"]["latency to next"] == 12
+        assert t["L3"]["latency to next"] == 62
+
+    def test_fill_times(self):
+        t = table2()
+        assert t["ICache"]["fill time"] == 2
+        assert t["L3"]["fill time"] == 8
+
+    def test_accesses_per_cycle(self):
+        t = table2()
+        assert t["DCache"]["accesses/cycle"] == 4
+        assert t["L2"]["accesses/cycle"] == 1
+        assert t["L3"]["accesses/cycle"] == 0.25

@@ -1,0 +1,333 @@
+"""Unit tests for the functional emulator (oracle semantics)."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.emulator import Emulator, EmulatorError
+from repro.isa.program import DATA_BASE, TEXT_BASE
+
+
+def run(source: str, max_instructions: int = 10000) -> Emulator:
+    emulator = Emulator(assemble(source))
+    emulator.run(max_instructions)
+    return emulator
+
+
+class TestIntegerArithmetic:
+    def test_add_sub(self):
+        e = run(".text\n li r1, 7\n li r2, 5\n add r3, r1, r2\n sub r4, r1, r2\n halt")
+        assert e.int_regs[3] == 12
+        assert e.int_regs[4] == 2
+
+    def test_subtraction_wraps_to_64_bits(self):
+        e = run(".text\n li r1, 0\n li r2, 1\n sub r3, r1, r2\n halt")
+        assert e.int_regs[3] == (1 << 64) - 1
+
+    def test_logic_ops(self):
+        e = run(".text\n li r1, 12\n li r2, 10\n and r3, r1, r2\n"
+                " or r4, r1, r2\n xor r5, r1, r2\n halt")
+        assert e.int_regs[3] == 8
+        assert e.int_regs[4] == 14
+        assert e.int_regs[5] == 6
+
+    def test_shifts(self):
+        e = run(".text\n li r1, 1\n slli r2, r1, 4\n li r3, 256\n"
+                " srli r4, r3, 4\n halt")
+        assert e.int_regs[2] == 16
+        assert e.int_regs[4] == 16
+
+    def test_sra_sign_extends(self):
+        e = run(".text\n li r1, -8\n li r2, 1\n sra r3, r1, r2\n halt")
+        assert e.int_regs[3] == ((1 << 64) - 4)  # -4 as unsigned
+
+    def test_multiply(self):
+        e = run(".text\n li r1, 6\n li r2, 7\n mul r3, r1, r2\n"
+                " mulq r4, r1, r2\n halt")
+        assert e.int_regs[3] == 42
+        assert e.int_regs[4] == 42
+
+    def test_compares_signed(self):
+        e = run(".text\n li r1, -1\n li r2, 1\n cmplt r3, r1, r2\n"
+                " cmplt r4, r2, r1\n cmpeq r5, r1, r1\n cmple r6, r1, r1\n halt")
+        assert e.int_regs[3] == 1
+        assert e.int_regs[4] == 0
+        assert e.int_regs[5] == 1
+        assert e.int_regs[6] == 1
+
+    def test_conditional_moves(self):
+        e = run(".text\n li r1, 0\n li r2, 9\n cmovz r3, r1, r2\n"
+                " cmovnz r4, r1, r2\n halt")
+        assert e.int_regs[3] == 9  # condition zero: select
+        assert e.int_regs[4] == 0
+
+    def test_r0_is_hardwired_zero(self):
+        e = run(".text\n li r0, 99\n add r1, r0, r0\n halt")
+        assert e.int_regs[0] == 0
+        assert e.int_regs[1] == 0
+
+
+class TestFloatingPoint:
+    def test_fp_arithmetic_via_memory(self):
+        e = run("""
+        .data
+        a: .word 6
+        b: .word 3
+        .text
+            li r1, a
+            fld f1, 0(r1)
+            fld f2, 8(r1)
+            fadd f3, f1, f2
+            fsub f4, f1, f2
+            fmul f5, f1, f2
+            fdiv f6, f1, f2
+            halt
+        """)
+        assert e.fp_regs[3] == 9.0
+        assert e.fp_regs[4] == 3.0
+        assert e.fp_regs[5] == 18.0
+        assert e.fp_regs[6] == 2.0
+
+    def test_fdiv_by_zero_yields_zero(self):
+        e = run("""
+        .data
+        a: .word 5
+        .text
+            li r1, a
+            fld f1, 0(r1)
+            fdiv f2, f1, f0
+            fdivd f3, f1, f0
+            halt
+        """)
+        assert e.fp_regs[2] == 0.0
+        assert e.fp_regs[3] == 0.0
+
+    def test_fcmp(self):
+        e = run("""
+        .data
+        v: .word 1, 2
+        .text
+            li r1, v
+            fld f1, 0(r1)
+            fld f2, 8(r1)
+            fcmp r2, f1, f2
+            fcmp r3, f2, f1
+            halt
+        """)
+        assert e.int_regs[2] == 1
+        assert e.int_regs[3] == 0
+
+    def test_fst_roundtrip(self):
+        e = run("""
+        .data
+        v: .word 4
+        buf: .space 8
+        .text
+            li r1, v
+            fld f1, 0(r1)
+            fmul f2, f1, f1
+            fst f2, 8(r1)
+            fld f3, 8(r1)
+            halt
+        """)
+        assert e.fp_regs[3] == 16.0
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        e = run("""
+        .data
+        buf: .space 16
+        .text
+            li r1, buf
+            li r2, 1234
+            st r2, 8(r1)
+            ld r3, 8(r1)
+            halt
+        """)
+        assert e.int_regs[3] == 1234
+
+    def test_initialised_data_readable(self):
+        e = run("""
+        .data
+        x: .word 77
+        .text
+            li r1, x
+            ld r2, 0(r1)
+            halt
+        """)
+        assert e.int_regs[2] == 77
+
+    def test_uninitialised_reads_zero(self):
+        e = run("""
+        .data
+        buf: .space 32
+        .text
+            li r1, buf
+            ld r2, 24(r1)
+            halt
+        """)
+        assert e.int_regs[2] == 0
+
+    def test_addresses_wrap_into_data_region(self):
+        # An out-of-range address must not crash; it wraps into the
+        # data region (synthetic programs stay in-bounds by masking,
+        # the wrap is a safety net).
+        e = run(f"""
+        .text
+            li r1, {DATA_BASE + (1 << 30)}
+            ld r2, 0(r1)
+            halt
+        """)
+        assert e.halted
+
+    def test_oracle_reports_effective_address(self):
+        emulator = Emulator(assemble("""
+        .data
+        buf: .space 16
+        .text
+            li r1, buf
+            ld r2, 8(r1)
+            halt
+        """))
+        emulator.step()
+        record = emulator.step()
+        assert record.eff_addr == DATA_BASE + 8
+
+
+class TestControlFlow:
+    def test_taken_branch(self):
+        emulator = Emulator(assemble("""
+        .text
+            beqz r0, over
+            li r1, 1
+        over:
+            halt
+        """))
+        record = emulator.step()
+        assert record.taken
+        assert record.next_pc == TEXT_BASE + 8
+        emulator.run()
+        assert emulator.int_regs[1] == 0
+
+    def test_not_taken_branch(self):
+        emulator = Emulator(assemble("""
+        .text
+            li r1, 5
+            bnez r0, away
+            li r2, 2
+        away:
+            halt
+        """))
+        emulator.step()
+        record = emulator.step()
+        assert not record.taken
+        assert record.next_pc == TEXT_BASE + 8
+
+    def test_loop_counts(self):
+        e = run("""
+        .text
+            li r1, 10
+            li r2, 0
+        loop:
+            addi r2, r2, 1
+            addi r1, r1, -1
+            bnez r1, loop
+            halt
+        """)
+        assert e.int_regs[2] == 10
+
+    def test_call_and_return(self):
+        e = run("""
+        .text
+        _start:
+            jal fn
+            li r2, 99
+            halt
+        fn:
+            li r1, 42
+            ret
+        """)
+        assert e.int_regs[1] == 42
+        assert e.int_regs[2] == 99
+        assert e.int_regs[31] == TEXT_BASE + 4
+
+    def test_indirect_jump(self):
+        e = run(f"""
+        .text
+            li r9, {TEXT_BASE + 12}
+            jr r9
+            li r1, 1
+            li r2, 2
+            halt
+        """)
+        assert e.int_regs[1] == 0
+        assert e.int_regs[2] == 2
+
+    def test_indirect_jump_to_invalid_target_raises(self):
+        emulator = Emulator(assemble(".text\n li r9, 12345677\n jr r9\n halt"))
+        emulator.step()
+        with pytest.raises(EmulatorError):
+            emulator.step()
+
+    def test_recursion_depth(self):
+        e = run(f"""
+        .data
+        stack: .space 1024
+        .text
+        _start:
+            li r29, {DATA_BASE + 1016}
+            li r20, 5
+            jal rec
+            halt
+        rec:
+            addi r29, r29, -16
+            st r31, 0(r29)
+            addi r21, r21, 1
+            addi r20, r20, -1
+            beqz r20, base
+            jal rec
+        base:
+            ld r31, 0(r29)
+            addi r29, r29, 16
+            ret
+        """)
+        assert e.int_regs[21] == 5
+
+
+class TestLifecycle:
+    def test_halt_sets_flag_and_stops(self):
+        emulator = Emulator(assemble(".text\n halt"))
+        emulator.step()
+        assert emulator.halted
+        with pytest.raises(EmulatorError):
+            emulator.step()
+
+    def test_run_respects_budget(self):
+        emulator = Emulator(assemble(".text\nloop:\n j loop"))
+        retired = emulator.run(max_instructions=100)
+        assert retired == 100
+        assert not emulator.halted
+
+    def test_instret_counts(self):
+        e = run(".text\n nop\n nop\n halt")
+        assert e.instret == 3
+
+    def test_determinism(self):
+        src = """
+        .data
+        buf: .space 64
+        .text
+            li r1, buf
+        loop:
+            ld r2, 0(r1)
+            add r3, r3, r2
+            addi r1, r1, 8
+            andi r1, r1, 56
+            j loop
+        """
+        a, b = Emulator(assemble(src)), Emulator(assemble(src))
+        for _ in range(500):
+            ra, rb = a.step(), b.step()
+            assert (ra.pc, ra.next_pc, ra.eff_addr, ra.taken) == (
+                rb.pc, rb.next_pc, rb.eff_addr, rb.taken
+            )

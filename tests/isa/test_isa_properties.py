@@ -1,0 +1,119 @@
+"""Property-based tests for the ISA substrate (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.emulator import Emulator
+from repro.isa.program import TEXT_BASE
+
+_MASK64 = (1 << 64) - 1
+
+
+# ----------------------------------------------------------------------
+# Random straight-line integer programs: the emulator must agree with a
+# direct Python evaluation of the same operations.
+# ----------------------------------------------------------------------
+_OPS = ("add", "sub", "and", "or", "xor")
+
+op_strategy = st.tuples(
+    st.sampled_from(_OPS),
+    st.integers(1, 10),   # rd
+    st.integers(1, 10),   # rs1
+    st.integers(1, 10),   # rs2
+)
+
+
+@st.composite
+def straightline_programs(draw):
+    inits = draw(
+        st.lists(st.integers(0, 2**32), min_size=10, max_size=10)
+    )
+    ops = draw(st.lists(op_strategy, min_size=1, max_size=40))
+    return inits, ops
+
+
+def _python_eval(inits, ops):
+    regs = [0] * 32
+    for i, v in enumerate(inits, start=1):
+        regs[i] = v & _MASK64
+    for op, rd, rs1, rs2 in ops:
+        a, b = regs[rs1], regs[rs2]
+        if op == "add":
+            r = a + b
+        elif op == "sub":
+            r = a - b
+        elif op == "and":
+            r = a & b
+        elif op == "or":
+            r = a | b
+        else:
+            r = a ^ b
+        regs[rd] = r & _MASK64
+    return regs
+
+
+@given(straightline_programs())
+@settings(max_examples=60, deadline=None)
+def test_emulator_matches_python_evaluation(case):
+    inits, ops = case
+    lines = [".text"]
+    for i, v in enumerate(inits, start=1):
+        lines.append(f"li r{i}, {v}")
+    for op, rd, rs1, rs2 in ops:
+        lines.append(f"{op} r{rd}, r{rs1}, r{rs2}")
+    lines.append("halt")
+    emulator = Emulator(assemble("\n".join(lines)))
+    emulator.run()
+    expected = _python_eval(inits, ops)
+    assert emulator.int_regs[1:11] == expected[1:11]
+
+
+# ----------------------------------------------------------------------
+# Assembly round trips: every emitted instruction is addressable and the
+# label map is consistent.
+# ----------------------------------------------------------------------
+@given(st.integers(1, 60), st.integers(0, 2**31))
+@settings(max_examples=40, deadline=None)
+def test_assembled_program_is_addressable(n_instructions, seed):
+    rng = random.Random(seed)
+    lines = [".text", "_start:"]
+    for i in range(n_instructions):
+        kind = rng.randrange(3)
+        if kind == 0:
+            lines.append(f"addi r{rng.randrange(1, 31)}, r{rng.randrange(1, 31)}, {rng.randrange(100)}")
+        elif kind == 1:
+            lines.append(f"add r{rng.randrange(1, 31)}, r{rng.randrange(1, 31)}, r{rng.randrange(1, 31)}")
+        else:
+            lines.append("nop")
+    lines.append("halt")
+    program = assemble("\n".join(lines))
+    assert len(program) == n_instructions + 1
+    for i in range(len(program)):
+        pc = program.address_of(i)
+        assert program.fetch(pc) is program.instructions[i]
+    assert program.symbols["_start"] == TEXT_BASE
+
+
+# ----------------------------------------------------------------------
+# Loops with data-independent trip counts terminate with the expected
+# iteration count (oracle control flow is exact).
+# ----------------------------------------------------------------------
+@given(st.integers(1, 200))
+@settings(max_examples=30, deadline=None)
+def test_counted_loop_iterations(trip):
+    source = f"""
+    .text
+        li r1, {trip}
+        li r2, 0
+    loop:
+        addi r2, r2, 1
+        addi r1, r1, -1
+        bnez r1, loop
+        halt
+    """
+    emulator = Emulator(assemble(source))
+    emulator.run(max_instructions=trip * 3 + 10)
+    assert emulator.int_regs[2] == trip
+    assert emulator.halted

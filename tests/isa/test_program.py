@@ -1,0 +1,86 @@
+"""Unit tests for the program image container."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import (
+    DataSegment,
+    INSTR_BYTES,
+    Program,
+    TEXT_BASE,
+)
+
+
+@pytest.fixture
+def program():
+    return assemble("""
+    .text
+    _start:
+        li r1, 1
+        li r2, 2
+        add r3, r1, r2
+        halt
+    """)
+
+
+class TestAddressing:
+    def test_text_bounds(self, program):
+        assert program.text_start == TEXT_BASE
+        assert program.text_end == TEXT_BASE + 4 * INSTR_BYTES
+
+    def test_address_of_and_index_of_roundtrip(self, program):
+        for i in range(len(program)):
+            assert program.index_of(program.address_of(i)) == i
+
+    def test_address_of_out_of_range(self, program):
+        with pytest.raises(IndexError):
+            program.address_of(99)
+
+    def test_index_of_rejects_outside(self, program):
+        with pytest.raises(ValueError):
+            program.index_of(TEXT_BASE - 4)
+
+    def test_in_text(self, program):
+        assert program.in_text(TEXT_BASE)
+        assert program.in_text(program.text_end - 4)
+        assert not program.in_text(program.text_end)
+        assert not program.in_text(TEXT_BASE + 2)  # misaligned
+
+
+class TestFetchTotality:
+    """fetch() must be total: wrong paths can ask for any address."""
+
+    def test_fetch_valid(self, program):
+        instr = program.fetch(TEXT_BASE + 8)
+        assert instr.opcode is Opcode.ADD
+
+    def test_fetch_below_text(self, program):
+        assert program.fetch(TEXT_BASE - 4) is None
+
+    def test_fetch_past_end(self, program):
+        assert program.fetch(program.text_end) is None
+
+    def test_fetch_misaligned(self, program):
+        assert program.fetch(TEXT_BASE + 1) is None
+
+    def test_fetch_huge_address(self, program):
+        assert program.fetch(1 << 40) is None
+
+
+class TestConstruction:
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            Program([])
+
+    def test_default_data_segment(self):
+        p = Program([Instruction(Opcode.NOP)])
+        assert p.data.size > 0
+        assert p.data.read(0x1000000) == 0
+
+    def test_data_segment_read_alignment(self):
+        seg = DataSegment(words={0x1000000: 5})
+        assert seg.read(0x1000003) == 5  # sub-word address reads its word
+
+    def test_repr(self, program):
+        assert "instructions=4" in repr(program)

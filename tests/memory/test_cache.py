@@ -1,0 +1,178 @@
+"""Unit tests for the banked, lockup-free cache model."""
+
+import pytest
+
+from repro.memory.cache import BankedCache, CacheParams
+
+
+def small_cache(**overrides) -> BankedCache:
+    params = dict(
+        name="test", size=4096, assoc=2, line_size=64, banks=4,
+        transfer_time=1, accesses_per_cycle=2, fill_time=2,
+        latency_to_next=6, mshrs=2,
+    )
+    params.update(overrides)
+    return BankedCache(CacheParams(**params))
+
+
+class TestGeometry:
+    def test_sets(self):
+        cache = small_cache()
+        assert cache.n_sets == 4096 // (64 * 2)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheParams(name="bad", size=1000, assoc=3, line_size=64, banks=8)
+
+    def test_line_and_bank_mapping(self):
+        cache = small_cache()
+        assert cache.line_of(0) == 0
+        assert cache.line_of(64) == 1
+        assert cache.bank_of(0) == 0
+        assert cache.bank_of(64) == 1
+        assert cache.bank_of(64 * 4) == 0  # wraps over 4 banks
+
+
+class TestHitMiss:
+    def test_cold_miss(self):
+        cache = small_cache()
+        assert not cache.lookup(0x1000, cycle=0)
+        assert cache.misses == 1
+
+    def test_hit_after_fill(self):
+        cache = small_cache()
+        cache.lookup(0x1000, 0)
+        cache.start_fill(0x1000, 10)
+        assert cache.lookup(0x1000, 20)
+        assert cache.accesses == 2 and cache.misses == 1
+
+    def test_lru_within_set(self):
+        cache = small_cache()  # 2-way, 32 sets
+        set_stride = 64 * cache.n_sets
+        a, b, c = 0x0, set_stride, 2 * set_stride
+        for addr in (a, b):
+            cache.lookup(addr, 0)
+            cache.start_fill(addr, 0)
+        cache.lookup(a, 5)            # touch a: b becomes LRU
+        cache.lookup(c, 6)
+        cache.start_fill(c, 6)        # evicts b
+        assert cache.lookup(a, 20)
+        assert not cache.lookup(b, 21)
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.lookup(0, 0)
+        cache.start_fill(0, 0)
+        cache.lookup(0, 5)
+        assert cache.miss_rate == 0.5
+
+    def test_reset_stats(self):
+        cache = small_cache()
+        cache.lookup(0, 0)
+        cache.reset_stats()
+        assert cache.accesses == 0 and cache.misses == 0
+
+
+class TestBanks:
+    def test_bank_busy_after_access(self):
+        cache = small_cache()
+        cache.lookup(0x1000, 5)
+        assert not cache.bank_free_at(0x1000, 5)
+        assert cache.bank_free_at(0x1000, 6)
+
+    def test_other_bank_unaffected(self):
+        cache = small_cache()
+        cache.lookup(0x1000, 5)
+        assert cache.bank_free_at(0x1000 + 64, 5)
+
+    def test_fill_window_blocks_bank(self):
+        cache = small_cache()
+        cache.start_fill(0x1000, ready_cycle=100)
+        assert cache.bank_free_at(0x1000, 99)
+        assert not cache.bank_free_at(0x1000, 100)
+        assert not cache.bank_free_at(0x1000, 101)
+        assert cache.bank_free_at(0x1000, 102)  # fill_time = 2
+
+    def test_fill_does_not_block_before_arrival(self):
+        """The regression that once wedged the whole simulator: an
+        outstanding miss must not reserve the bank for its entire
+        latency, only for the fill window."""
+        cache = small_cache()
+        cache.start_fill(0x1000, ready_cycle=300)
+        assert cache.bank_free_at(0x1000, 10)
+
+
+class TestPorts:
+    def test_port_limit_per_cycle(self):
+        cache = small_cache(accesses_per_cycle=2)
+        assert cache.port_available(7)
+        cache.grant_port(7)
+        cache.grant_port(7)
+        assert not cache.port_available(7)
+        assert cache.port_available(8)
+
+    def test_fractional_rate(self):
+        cache = small_cache(banks=1, accesses_per_cycle=0.25, size=4096,
+                            assoc=1)
+        assert cache.port_available(0)
+        cache.grant_port(0)
+        assert not cache.port_available(1)
+        assert cache.port_available(4)
+
+
+class TestMSHRs:
+    def test_outstanding_lookup(self):
+        cache = small_cache()
+        cache.start_fill(0x1000, 50)
+        assert cache.mshr_lookup(0x1000) == 50
+        assert cache.mshr_lookup(0x2000) is None
+
+    def test_stale_entry_retired_with_cycle(self):
+        cache = small_cache()
+        cache.start_fill(0x1000, 50)
+        assert cache.mshr_lookup(0x1000, cycle=60) is None
+        assert 0x1000 >> 6 not in cache.outstanding
+
+    def test_mshr_full_counts_live_only(self):
+        """Completed fills free their MSHR immediately (the regression
+        that throttled the memory system for ~800-cycle stretches)."""
+        cache = small_cache(mshrs=2)
+        cache.start_fill(0x1000, 50)
+        cache.start_fill(0x2000, 55)
+        assert cache.mshr_full(cycle=10)
+        assert not cache.mshr_full(cycle=60)
+
+    def test_same_line_merges(self):
+        cache = small_cache()
+        cache.start_fill(0x1000, 50)
+        assert cache.mshr_lookup(0x1008, cycle=0) == 50  # same line
+
+    def test_expire_prunes(self):
+        cache = small_cache()
+        cache.start_fill(0x1000, 50)
+        cache.grant_port(3)
+        cache.expire(100)
+        assert not cache.outstanding
+        assert cache._port_grants == {}
+
+
+class TestWarmTouch:
+    def test_install_and_hit(self):
+        cache = small_cache()
+        assert not cache.warm_touch(0x1000)
+        assert cache.warm_touch(0x1000)
+        assert cache.probe(0x1000)
+
+    def test_no_stats_side_effects(self):
+        cache = small_cache()
+        cache.warm_touch(0x1000)
+        assert cache.accesses == 0 and cache.misses == 0
+
+    def test_respects_associativity(self):
+        cache = small_cache()
+        set_stride = 64 * cache.n_sets
+        for i in range(3):
+            cache.warm_touch(i * set_stride)
+        assert not cache.probe(0)  # evicted, 2-way
+        assert cache.probe(set_stride)
+        assert cache.probe(2 * set_stride)

@@ -1,0 +1,87 @@
+"""Property-based tests for the cache model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import BankedCache, CacheParams
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+def tiny_cache(assoc=2):
+    return BankedCache(CacheParams(
+        name="prop", size=2048, assoc=assoc, line_size=64, banks=2,
+        transfer_time=1, accesses_per_cycle=4, fill_time=1,
+        latency_to_next=6, mshrs=4,
+    ))
+
+
+# ----------------------------------------------------------------------
+# warm_touch agrees with a reference set-associative LRU model.
+# ----------------------------------------------------------------------
+@given(st.lists(st.integers(0, 63), min_size=1, max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_warm_touch_matches_reference_lru(line_ids):
+    cache = tiny_cache(assoc=2)
+    n_sets = cache.n_sets
+    reference = [list() for _ in range(n_sets)]
+    for line_id in line_ids:
+        addr = line_id * 64
+        s = reference[line_id % n_sets]
+        expected_hit = line_id in s
+        if expected_hit:
+            s.remove(line_id)
+        elif len(s) >= 2:
+            s.pop(0)
+        s.append(line_id)
+        assert cache.warm_touch(addr) == expected_hit
+
+
+# ----------------------------------------------------------------------
+# The timed lookup/fill path never hits for a line never filled, and
+# always hits for a line just filled (same set pressure permitting).
+# ----------------------------------------------------------------------
+@given(st.lists(st.integers(0, 31), min_size=1, max_size=100))
+@settings(max_examples=40, deadline=None)
+def test_lookup_subset_of_filled(line_ids):
+    cache = tiny_cache()
+    filled = set()
+    cycle = 0
+    for line_id in line_ids:
+        addr = line_id * 64
+        hit = cache.lookup(addr, cycle)
+        if hit:
+            assert line_id in filled, "hit on a never-filled line"
+        else:
+            cache.start_fill(addr, cycle)
+            filled.add(line_id)
+        cycle += 3
+
+
+# ----------------------------------------------------------------------
+# Hierarchy accesses always complete in bounded time and never lose the
+# hit-after-fill property under random interleavings.
+# ----------------------------------------------------------------------
+@given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 40)),
+                min_size=1, max_size=60),
+       st.integers(2, 9))
+@settings(max_examples=30, deadline=None)
+def test_hierarchy_bounded_latency(accesses, gap):
+    h = MemoryHierarchy()
+    cycle = 0
+    for tid, line_id in accesses:
+        addr = 0x1000000 + line_id * 64
+        result = h.daccess(tid, addr, cycle)
+        if not result.rejected:
+            assert result.ready_cycle <= cycle + 3000
+            assert result.ready_cycle >= cycle
+        cycle += gap
+
+
+@given(st.integers(0, 100), st.integers(0, 7))
+@settings(max_examples=40, deadline=None)
+def test_hit_after_uncontended_fill(line_id, tid):
+    h = MemoryHierarchy()
+    addr = 0x1000000 + line_id * 64
+    first = h.daccess(tid, addr, 0)
+    assert not first.l1_hit
+    later = h.daccess(tid, addr, first.ready_cycle + 10)
+    assert later.l1_hit

@@ -1,0 +1,53 @@
+"""Unit tests for the TLB."""
+
+import pytest
+
+from repro.memory.tlb import TLB
+
+
+class TestTLB:
+    def test_cold_miss_then_hit(self):
+        tlb = TLB(entries=4)
+        assert not tlb.access(0, 0x10000)
+        assert tlb.access(0, 0x10000)
+
+    def test_same_page_different_offset_hits(self):
+        tlb = TLB()
+        tlb.access(0, 0x10000)
+        assert tlb.access(0, 0x10000 + 4096)  # same 8KB page
+
+    def test_adjacent_pages_distinct(self):
+        tlb = TLB()
+        tlb.access(0, 0x10000)
+        assert not tlb.access(0, 0x10000 + 8192)
+
+    def test_thread_tagged(self):
+        tlb = TLB()
+        tlb.access(0, 0x10000)
+        assert not tlb.access(1, 0x10000)
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2)
+        tlb.access(0, 0 * 8192)
+        tlb.access(0, 1 * 8192)
+        tlb.access(0, 0 * 8192)       # refresh page 0
+        tlb.access(0, 2 * 8192)       # evicts page 1
+        assert tlb.access(0, 0)
+        assert not tlb.access(0, 1 * 8192)
+
+    def test_miss_rate(self):
+        tlb = TLB()
+        tlb.access(0, 0)
+        tlb.access(0, 0)
+        assert tlb.miss_rate == 0.5
+        tlb.reset_stats()
+        assert tlb.accesses == 0
+
+    def test_page_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            TLB(page_bytes=5000)
+
+    def test_page_of(self):
+        tlb = TLB(page_bytes=8192)
+        assert tlb.page_of(8191) == 0
+        assert tlb.page_of(8192) == 1

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        code = main(list(argv))
+    return code, buf.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.threads == 8
+        assert args.policy == "ICOUNT"
+        assert args.num1 == 2 and args.num2 == 8
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "FIFO"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig3"])
+        assert args.name == "fig3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_workload_choices(self):
+        args = build_parser().parse_args(["workload", "xlisp"])
+        assert args.name == "xlisp"
+
+
+class TestCommands:
+    def test_list(self):
+        code, out = run_cli("list")
+        assert code == 0
+        assert "ICOUNT" in out and "espresso" in out and "fig5" in out
+
+    def test_workload_characterisation(self):
+        code, out = run_cli("workload", "espresso", "--instructions", "3000")
+        assert code == 0
+        assert "conditional branches" in out
+        assert "loads+stores" in out
+
+    def test_workload_listing(self):
+        code, out = run_cli("workload", "ora", "--listing")
+        assert code == 0
+        assert "_start:" in out
+
+    def test_run_small(self):
+        code, out = run_cli(
+            "run", "--threads", "2", "--cycles", "1200", "--warmup", "200",
+        )
+        assert code == 0
+        assert "IPC" in out and "ICOUNT.2.8" in out
+
+    def test_run_superscalar_flag(self):
+        code, out = run_cli(
+            "run", "--threads", "1", "--superscalar",
+            "--cycles", "800", "--warmup", "100",
+        )
+        assert code == 0
+        assert "superscalar pipeline" in out

@@ -1,0 +1,49 @@
+"""Tests for the multiprogrammed mix rotation (paper Section 3)."""
+
+import pytest
+
+from repro.workloads.mixes import benchmark_rotation, standard_mix
+from repro.workloads.profiles import profile_names
+
+
+class TestRotation:
+    def test_full_eight(self):
+        assert benchmark_rotation(8, 0) == list(profile_names())
+
+    def test_rotation_shifts(self):
+        names = profile_names()
+        assert benchmark_rotation(4, 0) == list(names[:4])
+        assert benchmark_rotation(4, 1) == list(names[1:5])
+
+    def test_wraps(self):
+        names = profile_names()
+        rotated = benchmark_rotation(4, 7)
+        assert rotated == [names[7], names[0], names[1], names[2]]
+
+    def test_each_run_uses_distinct_combination(self):
+        combos = {tuple(benchmark_rotation(4, r)) for r in range(8)}
+        assert len(combos) == 8
+
+    def test_bad_thread_count(self):
+        with pytest.raises(ValueError):
+            benchmark_rotation(0, 0)
+        with pytest.raises(ValueError):
+            benchmark_rotation(9, 0)
+
+
+class TestStandardMix:
+    def test_returns_programs(self):
+        programs = standard_mix(2, 0)
+        assert len(programs) == 2
+        assert programs[0].name == "alvinn"
+        assert programs[1].name == "doduc"
+
+    def test_caching_returns_same_objects(self):
+        a = standard_mix(2, 0)
+        b = standard_mix(2, 0)
+        assert a[0] is b[0]
+
+    def test_distinct_seeds_not_cached_together(self):
+        a = standard_mix(1, 0, seed=0)
+        b = standard_mix(1, 0, seed=1)
+        assert a[0] is not b[0]

@@ -1,0 +1,82 @@
+"""Unit tests for the workload profiles."""
+
+import pytest
+
+from repro.workloads.profiles import PROFILES, WorkloadProfile, profile_names
+
+
+class TestSuiteComposition:
+    """The paper's Section 3 workload: five FP programs, two integer
+    programs, and TeX."""
+
+    def test_eight_programs(self):
+        assert len(PROFILES) == 8
+
+    def test_paper_program_names(self):
+        assert set(profile_names()) == {
+            "alvinn", "doduc", "fpppp", "ora", "tomcatv",
+            "espresso", "xlisp", "tex",
+        }
+
+    def test_names_match_keys(self):
+        for name, profile in PROFILES.items():
+            assert profile.name == name
+
+    def test_fp_programs_have_fp_work(self):
+        for name in ("alvinn", "doduc", "fpppp", "ora", "tomcatv"):
+            assert PROFILES[name].frac_fp > 0.2
+
+    def test_int_programs_have_no_fp(self):
+        for name in ("espresso", "xlisp", "tex"):
+            assert PROFILES[name].frac_fp == 0.0
+
+    def test_fpppp_has_huge_blocks(self):
+        """fpppp is famous for enormous basic blocks."""
+        low, high = PROFILES["fpppp"].block_size
+        assert low >= 20
+
+    def test_xlisp_has_recursion_and_chase(self):
+        assert PROFILES["xlisp"].recursion_depth > 12  # overflows the RAS
+        assert PROFILES["xlisp"].access_pattern == "chase"
+
+    def test_tomcatv_is_the_data_cache_offender(self):
+        tomcatv = PROFILES["tomcatv"]
+        assert tomcatv.hot_region >= 32 * 1024  # saturates the L1
+
+    def test_switch_programs(self):
+        for name in ("espresso", "xlisp", "tex"):
+            assert PROFILES[name].switch_cases > 0
+
+
+class TestValidation:
+    def _base(self, **overrides):
+        kwargs = dict(
+            name="x", text_instructions=100, procedures=2,
+            block_size=(2, 4), trip_count=(2, 4),
+            frac_fp=0.1, frac_load=0.2, frac_store=0.1, frac_mul=0.0,
+            frac_fp_div=0.0, data_branch_prob=0.5, data_branch_bias=0.7,
+            dependence_density=0.5, working_set=1 << 14,
+            access_pattern="seq",
+        )
+        kwargs.update(overrides)
+        return WorkloadProfile(**kwargs)
+
+    def test_valid_profile(self):
+        assert self._base().name == "x"
+
+    def test_working_set_power_of_two(self):
+        with pytest.raises(ValueError):
+            self._base(working_set=3000)
+
+    def test_access_pattern_checked(self):
+        with pytest.raises(ValueError):
+            self._base(access_pattern="zigzag")
+
+    def test_mix_fractions_bounded(self):
+        with pytest.raises(ValueError):
+            self._base(frac_fp=0.5, frac_load=0.4, frac_store=0.2)
+
+    def test_frozen(self):
+        profile = self._base()
+        with pytest.raises(Exception):
+            profile.frac_fp = 0.9

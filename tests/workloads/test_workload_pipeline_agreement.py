@@ -1,0 +1,31 @@
+"""Cross-layer agreement: for every workload, the timing pipeline's
+committed stream must exactly prefix the functional emulator's
+architectural stream (oracle/pipeline lockstep under squashes,
+optimistic replays, and cache chaos)."""
+
+import pytest
+
+from repro.core.config import SMTConfig
+from repro.core.simulator import Simulator
+from repro.isa.emulator import Emulator
+from repro.workloads.profiles import PROFILES
+from repro.workloads.synthetic import generate_program
+
+
+@pytest.mark.parametrize("name", sorted(PROFILES))
+def test_committed_stream_prefixes_oracle(name):
+    program = generate_program(PROFILES[name], seed=0)
+    sim = Simulator(SMTConfig(n_threads=1), [program])
+    committed = []
+    sim.commit_listener = lambda uop: committed.append(uop.pc)
+    sim.functional_warmup(4000)
+    # The warmup advanced the architectural state; replay an oracle
+    # emulator to the same point for comparison.
+    oracle = Emulator(program)
+    for _ in range(4000):
+        oracle.step()
+    for _ in range(1500):
+        sim.step()
+    assert len(committed) > 200, f"{name} barely progressed"
+    expected = [oracle.step().pc for _ in range(len(committed))]
+    assert committed == expected

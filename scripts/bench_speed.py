@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Measure simulator speed and experiment-engine speedups.
+
+Three measurements, written to ``BENCH_speed.json``:
+
+1. ``core_cycles_per_sec`` — raw inner-loop speed: timed ``step()``
+   cycles of an ICOUNT.2.8 machine at 8 threads (the hot path every
+   experiment spends its time in).
+2. ``figure3_serial_s`` / ``figure3_jobs_s`` — wall time for the
+   REPRO_FAST Figure 3 sweep run serially vs sharded over a worker
+   pool (``--jobs``, default ``min(4, cpu_count)``), both with a cold
+   cache.
+3. ``figure3_warm_cache_s`` — the same sweep replayed from the
+   persistent result cache.
+
+Each sweep uses a throwaway cache directory so the benchmark neither
+reads nor pollutes the user's real cache.
+
+Run:  PYTHONPATH=src python scripts/bench_speed.py [--jobs N] [--steps N]
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import tempfile
+import time
+
+from repro.core.config import scheme
+from repro.core.simulator import Simulator
+from repro.experiments import figures
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import RunBudget
+from repro.workloads.mixes import standard_mix
+
+FAST_BUDGET = RunBudget(warmup_cycles=1000, measure_cycles=8000,
+                        functional_warmup_instructions=30000, rotations=1)
+
+
+def bench_core(steps: int) -> dict:
+    """Timed cycles/second of the simulator inner loop."""
+    config = scheme("ICOUNT", 2, 8, n_threads=8)
+    sim = Simulator(config, standard_mix(8, 0))
+    sim.functional_warmup(FAST_BUDGET.functional_warmup_instructions)
+    for _ in range(500):  # settle the pipeline before timing
+        sim.step()
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        sim.step()
+    elapsed = time.perf_counter() - t0
+    return {
+        "steps": steps,
+        "seconds": round(elapsed, 3),
+        "core_cycles_per_sec": round(steps / elapsed, 1),
+    }
+
+
+def bench_figure3(jobs: int) -> dict:
+    """Figure 3 sweep: serial cold, parallel cold, then warm cache."""
+    times = {}
+
+    def sweep(label, run_jobs, cache_dir):
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+        t0 = time.perf_counter()
+        figures.figure3(budget=FAST_BUDGET, jobs=run_jobs, use_cache=True)
+        times[label] = round(time.perf_counter() - t0, 3)
+
+    serial_dir = tempfile.mkdtemp(prefix="bench-cache-")
+    pooled_dir = tempfile.mkdtemp(prefix="bench-cache-")
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    try:
+        sweep("figure3_serial_s", 1, serial_dir)
+        sweep("figure3_jobs_s", jobs, pooled_dir)
+        sweep("figure3_warm_cache_s", 1, pooled_dir)
+        entries = len(ResultCache(pooled_dir))
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = saved
+        shutil.rmtree(serial_dir, ignore_errors=True)
+        shutil.rmtree(pooled_dir, ignore_errors=True)
+
+    serial, pooled = times["figure3_serial_s"], times["figure3_jobs_s"]
+    times.update(
+        jobs=jobs,
+        cache_entries=entries,
+        parallel_speedup=round(serial / pooled, 2) if pooled else None,
+        warm_cache_speedup=(
+            round(serial / times["figure3_warm_cache_s"], 2)
+            if times["figure3_warm_cache_s"] else None
+        ),
+    )
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--jobs", type=int,
+                    default=min(4, multiprocessing.cpu_count()),
+                    help="worker processes for the parallel sweep")
+    ap.add_argument("--steps", type=int, default=12000,
+                    help="timed simulator cycles for the core benchmark")
+    ap.add_argument("--output", default="BENCH_speed.json")
+    args = ap.parse_args()
+
+    report = {
+        "host_cpus": multiprocessing.cpu_count(),
+        "core": bench_core(args.steps),
+        "figure3": bench_figure3(args.jobs),
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    core = report["core"]
+    fig = report["figure3"]
+    print(f"core loop      : {core['core_cycles_per_sec']:.0f} cycles/sec "
+          f"({core['steps']} steps in {core['seconds']}s)")
+    print(f"figure 3 sweep : serial {fig['figure3_serial_s']}s, "
+          f"--jobs {fig['jobs']} {fig['figure3_jobs_s']}s "
+          f"({fig['parallel_speedup']}x), "
+          f"warm cache {fig['figure3_warm_cache_s']}s "
+          f"({fig['warm_cache_speedup']}x)")
+    print(f"report written : {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,12 +5,20 @@ Runs every figure and table harness plus the Section 7 bottleneck
 report at a serious budget, printing everything in the paper's format.
 Used to populate EXPERIMENTS.md.
 
-Run:  python scripts/collect_results.py | tee experiments_output.txt
+Run:  python scripts/collect_results.py [--jobs N] [--no-cache] \
+          | tee experiments_output.txt
+
+``--jobs N`` shards the simulation runs over N worker processes; the
+persistent result cache (see docs/performance.md) makes re-collection
+after an interrupted run nearly free.  Results are identical for any
+job count and cache state.
 """
 
+import argparse
 import time
 
-from repro.experiments import bottlenecks, figures, tables
+from repro.experiments import bottlenecks, figures, parallel, tables
+from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.experiments.runner import RunBudget
 
 BUDGET = RunBudget(
@@ -26,6 +34,19 @@ def stamp(label):
 
 
 def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--jobs", type=int, default=None, metavar="N",
+                    help="worker processes (default: REPRO_JOBS or 1)")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="bypass the persistent result cache")
+    args = ap.parse_args()
+
+    use_cache = not args.no_cache and parallel.default_use_cache()
+    parallel.configure(
+        jobs=args.jobs if args.jobs is not None else parallel.default_jobs(),
+        use_cache=use_cache,
+    )
+
     t0 = time.time()
 
     stamp("Figure 3: base hardware throughput")
@@ -64,6 +85,10 @@ def main():
     bottlenecks.print_report(BUDGET)
 
     print(f"\ntotal collection time: {time.time() - t0:.0f}s", flush=True)
+    if use_cache:
+        cache = ResultCache(default_cache_dir())
+        print(f"result cache: {len(cache)} entries at {cache.directory}",
+              flush=True)
 
 
 if __name__ == "__main__":

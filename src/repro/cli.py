@@ -4,7 +4,7 @@ Usage::
 
     python -m repro run --threads 8 --policy ICOUNT --num1 2 --num2 8
     python -m repro run --threads 1 --superscalar
-    python -m repro experiment fig3 [--fast | --full]
+    python -m repro experiment fig3 [--fast | --full] [--jobs N] [--no-cache]
     python -m repro experiment all
     python -m repro workload espresso --instructions 20000
     python -m repro list
@@ -25,7 +25,7 @@ from repro.core.config import (
     SMTConfig,
 )
 from repro.core.simulator import Simulator
-from repro.experiments import bottlenecks, figures, tables
+from repro.experiments import bottlenecks, figures, parallel, tables
 from repro.experiments.runner import RunBudget
 from repro.workloads.mixes import standard_mix
 from repro.workloads.profiles import PROFILES
@@ -91,6 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="small budget (quick look)")
     exp.add_argument("--full", action="store_true",
                      help="large budget (final numbers)")
+    exp.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="worker processes for simulation runs "
+                          "(default: REPRO_JOBS or 1)")
+    exp.add_argument("--no-cache", action="store_true",
+                     help="bypass the persistent result cache")
 
     wl = sub.add_parser("workload",
                         help="inspect a synthetic benchmark program")
@@ -152,6 +157,10 @@ def cmd_experiment(args) -> int:
                            functional_warmup_instructions=120000, rotations=4)
     else:
         budget = RunBudget.from_environment()
+    parallel.configure(
+        jobs=args.jobs if args.jobs is not None else parallel.default_jobs(),
+        use_cache=not args.no_cache and parallel.default_use_cache(),
+    )
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:
         EXPERIMENTS[name](budget)

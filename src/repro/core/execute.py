@@ -171,10 +171,14 @@ class ExecuteUnit:
             return
         sim.renamer.retract_wakeup(producer)
 
+        # The in-flight window only shrinks during this loop (nothing
+        # issues mid-execute), so one snapshot suffices; state is
+        # re-checked each pass.
+        in_flight = sim.in_flight_issued(cycle)
         changed = True
         while changed:
             changed = False
-            for uop in sim.in_flight_issued(cycle):
+            for uop in in_flight:
                 if uop is producer or uop.state != S_ISSUED:
                     continue
                 if sim.renamer.sources_ready(uop, uop.issue_c):

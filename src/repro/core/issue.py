@@ -38,6 +38,12 @@ class IssueUnit:
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
+        # All policies but OPT_LAST have cycle-independent sort keys;
+        # building the key function once avoids a closure per cycle.
+        policy = sim.cfg.issue_policy
+        self._static_key = (
+            None if policy == "OPT_LAST" else self._policy_key(0)
+        )
 
     # ------------------------------------------------------------------
     def issue_cycle(self, cycle: int) -> None:
@@ -48,9 +54,11 @@ class IssueUnit:
         fp_left = cfg.fp_units
         infinite = cfg.infinite_fus
 
-        candidates: List[Uop] = list(sim.int_queue.waiting())
+        candidates: List[Uop] = sim.int_queue.waiting()
         candidates.extend(sim.fp_queue.waiting())
-        candidates.sort(key=self._policy_key(cycle))
+        if not candidates:
+            return
+        candidates.sort(key=self._static_key or self._policy_key(cycle))
 
         for uop in candidates:
             if not infinite:

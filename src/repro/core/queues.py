@@ -53,16 +53,21 @@ class InstructionQueue:
         """Entries visible to the issue logic, in age order."""
         return iter(self.entries[: self.search_window])
 
-    def waiting(self) -> Iterator[Uop]:
+    def waiting(self) -> List[Uop]:
         """Searchable entries still waiting to issue."""
-        for uop in self.entries[: self.search_window]:
-            if uop.state == S_QUEUED:
-                yield uop
+        entries = self.entries
+        if len(entries) > self.search_window:
+            entries = entries[: self.search_window]
+        return [uop for uop in entries if uop.state == S_QUEUED]
 
     # ------------------------------------------------------------------
     def release_freed(self) -> None:
         """Drop entries whose slot has been released."""
-        self.entries = [u for u in self.entries if not u.iq_freed]
+        entries = self.entries
+        for uop in entries:
+            if uop.iq_freed:
+                self.entries = [u for u in entries if not u.iq_freed]
+                return
 
     def remove(self, uop: Uop) -> None:
         """Remove a squashed entry outright."""

@@ -20,8 +20,9 @@ penalty) and one thread.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.config import SMTConfig
 from repro.core.execute import ExecuteUnit
@@ -74,10 +75,10 @@ class SimResult:
     out_of_registers_frac: float
     branch_mispredict_rate: float
     jump_mispredict_rate: float
-    icache: CacheStats = None
-    dcache: CacheStats = None
-    l2: CacheStats = None
-    l3: CacheStats = None
+    icache: Optional[CacheStats] = None
+    dcache: Optional[CacheStats] = None
+    l2: Optional[CacheStats] = None
+    l3: Optional[CacheStats] = None
     committed_per_thread: Dict[int, int] = field(default_factory=dict)
 
     def summary(self) -> str:
@@ -123,8 +124,10 @@ class Simulator:
         self.fp_queue = InstructionQueue(
             "fp", config.iq_capacity, config.iq_size
         )
-        self.fetch_buffer: List[Uop] = []
-        self.decode_buffer: List[Uop] = []
+        # Deques: decode and rename consume from the front every cycle,
+        # and list.pop(0) is O(n) per uop.
+        self.fetch_buffer: Deque[Uop] = deque()
+        self.decode_buffer: Deque[Uop] = deque()
         self.pending_exec: Dict[int, List[Uop]] = {}
         self.pending_squashes: List[Tuple[Uop, int]] = []
         self.pending_stores: List[List[Uop]] = [[] for _ in range(config.n_threads)]
@@ -148,13 +151,23 @@ class Simulator:
     def schedule_exec(self, uop: Uop) -> None:
         self.pending_exec.setdefault(uop.exec_c, []).append(uop)
 
-    def in_flight_issued(self, cycle: int) -> Iterator[Uop]:
-        """Uops issued but not yet at their execute stage."""
-        horizon = cycle + self.cfg.exec_offset
-        for c in range(cycle, horizon + 1):
-            for uop in self.pending_exec.get(c, ()):
+    def in_flight_issued(self, cycle: int) -> List[Uop]:
+        """Uops issued but not yet at their execute stage.
+
+        The scan is bounded to the issue-to-execute window (a uop issued
+        at ``t`` executes at ``t + exec_offset``), so only that many
+        event lists are ever touched.
+        """
+        out: List[Uop] = []
+        pending_get = self.pending_exec.get
+        for c in range(cycle, cycle + self.cfg.exec_offset + 1):
+            uops = pending_get(c)
+            if not uops:
+                continue
+            for uop in uops:
                 if uop.state == S_ISSUED and uop.exec_c == c:
-                    yield uop
+                    out.append(uop)
+        return out
 
     def schedule_mispredict_squash(self, uop: Uop, effective_cycle: int) -> None:
         self.pending_squashes.append((uop, effective_cycle))
@@ -194,12 +207,12 @@ class Simulator:
             self._undo(rob.pop())
             squashed_any = True
         if squashed_any:
-            self.fetch_buffer = [
+            self.fetch_buffer = deque(
                 u for u in self.fetch_buffer if u.state != S_SQUASHED
-            ]
-            self.decode_buffer = [
+            )
+            self.decode_buffer = deque(
                 u for u in self.decode_buffer if u.state != S_SQUASHED
-            ]
+            )
             stores = self.pending_stores[branch.tid]
             if stores:
                 self.pending_stores[branch.tid] = [
@@ -236,13 +249,15 @@ class Simulator:
     # Rename / dispatch and decode phases.
     # ==================================================================
     def _rename_cycle(self, cycle: int) -> None:
-        cfg = self.cfg
+        buffer = self.decode_buffer
+        rename_width = self.cfg.rename_width
+        rename = self.renamer.rename
         renamed = 0
         blocked_int = blocked_fp = blocked_regs = False
-        while self.decode_buffer and renamed < cfg.rename_width:
-            uop = self.decode_buffer[0]
+        while buffer and renamed < rename_width:
+            uop = buffer[0]
             if uop.state == S_SQUASHED:
-                self.decode_buffer.pop(0)
+                buffer.popleft()
                 continue
             if uop.decode_c >= cycle:
                 break
@@ -253,10 +268,10 @@ class Simulator:
                 else:
                     blocked_int = True
                 break
-            if not self.renamer.rename(uop):
+            if not rename(uop):
                 blocked_regs = True
                 break
-            self.decode_buffer.pop(0)
+            buffer.popleft()
             uop.dispatch_c = cycle
             uop.state = S_QUEUED
             queue.add(uop)
@@ -274,21 +289,23 @@ class Simulator:
                 self.stats.out_of_registers_cycles += 1
 
     def _decode_cycle(self, cycle: int) -> None:
-        cfg = self.cfg
+        buffer = self.fetch_buffer
+        decode_buffer = self.decode_buffer
+        decode_width = self.cfg.decode_width
         decoded = 0
-        while self.fetch_buffer and decoded < cfg.decode_width:
-            uop = self.fetch_buffer[0]
+        while buffer and decoded < decode_width:
+            uop = buffer[0]
             if uop.state == S_SQUASHED:
-                self.fetch_buffer.pop(0)
+                buffer.popleft()
                 continue
             if uop.fetch_c >= cycle:
                 break
-            if len(self.decode_buffer) >= cfg.decode_width:
+            if len(decode_buffer) >= decode_width:
                 break
-            self.fetch_buffer.pop(0)
+            buffer.popleft()
             uop.decode_c = cycle
             uop.state = S_DECODED
-            self.decode_buffer.append(uop)
+            decode_buffer.append(uop)
             decoded += 1
 
     # ==================================================================
@@ -296,20 +313,25 @@ class Simulator:
     # ==================================================================
     def step(self) -> None:
         cycle = self.cycle
+        int_queue = self.int_queue
+        fp_queue = self.fp_queue
         self._apply_squashes(cycle)
         self.retire_unit.commit_cycle(cycle)
         self.execute_unit.execute_cycle(cycle)
-        self.int_queue.release_freed()
-        self.fp_queue.release_freed()
+        int_queue.release_freed()
+        fp_queue.release_freed()
         self.issue_unit.issue_cycle(cycle)
         self._rename_cycle(cycle)
         self._decode_cycle(cycle)
         self.fetch_unit.fetch_cycle(cycle)
         if self.measuring:
-            self.stats.cycles += 1
-            self.stats.queue_population_sum += (
-                self.int_queue.population() + self.fp_queue.population()
+            stats = self.stats
+            stats.cycles += 1
+            stats.queue_population_sum += (
+                len(int_queue.entries) + len(fp_queue.entries)
             )
+        if cycle & 1023 == 0 and self.pending_exec:
+            self._gc_pending_exec()
         self.cycle += 1
 
     # ------------------------------------------------------------------

@@ -5,22 +5,50 @@ multiprogrammed workload (averaging several benchmark rotations, as the
 paper averages 8 runs per data point), returns structured rows, and can
 print them in the paper's format.  The benchmarks under ``benchmarks/``
 call these functions and assert the qualitative shapes.
+
+All runs flow through the parallel experiment engine
+(:mod:`repro.experiments.parallel`): pass ``jobs=N`` to shard across a
+worker pool, and results memoise into a persistent on-disk cache
+(:mod:`repro.experiments.cache`) keyed by configuration, workload, and
+budget — identical results however they were produced.
 """
 
+from repro.experiments.cache import ResultCache, default_cache_dir, result_key
+from repro.experiments.parallel import RunSpec, configure, execute_runs
 from repro.experiments.runner import (
     ExperimentPoint,
     RunBudget,
     average_runs,
     run_config,
+    run_configs,
+    sweep_threads,
 )
-from repro.experiments import figures, tables, bottlenecks
+from repro.experiments import (
+    bottlenecks,
+    cache,
+    figures,
+    parallel,
+    sensitivity,
+    tables,
+)
 
 __all__ = [
     "ExperimentPoint",
+    "ResultCache",
     "RunBudget",
+    "RunSpec",
     "average_runs",
-    "run_config",
-    "figures",
-    "tables",
     "bottlenecks",
+    "cache",
+    "configure",
+    "default_cache_dir",
+    "execute_runs",
+    "figures",
+    "parallel",
+    "result_key",
+    "run_config",
+    "run_configs",
+    "sensitivity",
+    "sweep_threads",
+    "tables",
 ]

@@ -12,6 +12,11 @@ throughput delta — reproducing every experiment in Section 7:
 * speculative execution (no wrong-path issue; no passing branches),
 * memory throughput (infinite cache/bus bandwidth),
 * register file size (excess register sweep).
+
+Each experiment batches its configurations through the parallel
+experiment engine; the repeated ICOUNT.2.8 baseline is deduplicated by
+the engine and memoised by the result cache, so the full report
+simulates the baseline once, not seven times.
 """
 
 from __future__ import annotations
@@ -19,7 +24,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import SMTConfig, scheme
-from repro.experiments.runner import ExperimentPoint, RunBudget, run_config
+from repro.experiments.runner import (
+    ExperimentPoint,
+    RunBudget,
+    run_configs,
+)
 
 
 def improved_baseline(n_threads: int = 8, **overrides) -> SMTConfig:
@@ -31,145 +40,179 @@ def _delta(base: ExperimentPoint, variant: ExperimentPoint) -> float:
     return (variant.ipc - base.ipc) / base.ipc if base.ipc else 0.0
 
 
+def _labeled_batch(batch, budget, jobs, use_cache):
+    points = run_configs(
+        [(label, config) for label, config in batch],
+        budget=budget, jobs=jobs, use_cache=use_cache,
+    )
+    return {label: point for (label, _), point in zip(batch, points)}
+
+
 # ----------------------------------------------------------------------
 def issue_bandwidth(budget: Optional[RunBudget] = None,
-                    n_threads: int = 8) -> Dict[str, ExperimentPoint]:
+                    n_threads: int = 8,
+                    jobs: Optional[int] = None,
+                    use_cache: Optional[bool] = None
+                    ) -> Dict[str, ExperimentPoint]:
     """Infinite functional units (paper: +0.5% at 8 threads)."""
-    return {
-        "baseline": run_config(improved_baseline(n_threads), budget=budget),
-        "infinite FUs": run_config(
-            improved_baseline(n_threads, infinite_fus=True), budget=budget
-        ),
-    }
+    return _labeled_batch(
+        [
+            ("baseline", improved_baseline(n_threads)),
+            ("infinite FUs", improved_baseline(n_threads, infinite_fus=True)),
+        ],
+        budget, jobs, use_cache,
+    )
 
 
 def queue_size(budget: Optional[RunBudget] = None,
-               n_threads: int = 8) -> Dict[str, ExperimentPoint]:
+               n_threads: int = 8,
+               jobs: Optional[int] = None,
+               use_cache: Optional[bool] = None) -> Dict[str, ExperimentPoint]:
     """Fully searchable 64-entry queues (paper: <1%)."""
-    return {
-        "baseline": run_config(improved_baseline(n_threads), budget=budget),
-        "64-entry queues": run_config(
-            improved_baseline(n_threads, iq_size=64), budget=budget
-        ),
-    }
+    return _labeled_batch(
+        [
+            ("baseline", improved_baseline(n_threads)),
+            ("64-entry queues", improved_baseline(n_threads, iq_size=64)),
+        ],
+        budget, jobs, use_cache,
+    )
 
 
 def fetch_bandwidth(budget: Optional[RunBudget] = None,
-                    n_threads: int = 8) -> Dict[str, ExperimentPoint]:
+                    n_threads: int = 8,
+                    jobs: Optional[int] = None,
+                    use_cache: Optional[bool] = None
+                    ) -> Dict[str, ExperimentPoint]:
     """16-wide fetch (up to 8 from each of 2 threads): paper +8%;
     plus 64-entry queues and 140 excess registers: another +7%."""
     wide = improved_baseline(
         n_threads, fetch_width=16, decode_width=16, rename_width=16
     )
     wide_big = wide.with_options(iq_size=64, excess_registers=140)
-    return {
-        "baseline": run_config(improved_baseline(n_threads), budget=budget),
-        "16-wide fetch": run_config(wide, budget=budget),
-        "16-wide + 64Q + 140 regs": run_config(wide_big, budget=budget),
-    }
+    return _labeled_batch(
+        [
+            ("baseline", improved_baseline(n_threads)),
+            ("16-wide fetch", wide),
+            ("16-wide + 64Q + 140 regs", wide_big),
+        ],
+        budget, jobs, use_cache,
+    )
 
 
 def branch_prediction(budget: Optional[RunBudget] = None,
-                      thread_counts=(1, 4, 8)) -> Dict[str, List[ExperimentPoint]]:
+                      thread_counts=(1, 4, 8),
+                      jobs: Optional[int] = None,
+                      use_cache: Optional[bool] = None
+                      ) -> Dict[str, List[ExperimentPoint]]:
     """Perfect prediction (paper: +25%/+15%/+9% at 1/4/8 threads) and
     doubled BTB+PHT (paper: ~+2% at 8 threads)."""
+    variants = (
+        ("baseline", {}),
+        ("perfect", {"perfect_branch_prediction": True}),
+        ("doubled tables", {"btb_entries": 512, "pht_entries": 4096}),
+    )
+    batch = [
+        (label, improved_baseline(t, **options))
+        for t in thread_counts
+        for label, options in variants
+    ]
+    points = run_configs(
+        batch, budget=budget, jobs=jobs, use_cache=use_cache
+    )
     out: Dict[str, List[ExperimentPoint]] = {
-        "baseline": [], "perfect": [], "doubled tables": [],
+        label: [] for label, _ in variants
     }
-    for t in thread_counts:
-        out["baseline"].append(
-            run_config(improved_baseline(t), budget=budget)
-        )
-        out["perfect"].append(
-            run_config(
-                improved_baseline(t, perfect_branch_prediction=True),
-                budget=budget,
-            )
-        )
-        out["doubled tables"].append(
-            run_config(
-                improved_baseline(t, btb_entries=512, pht_entries=4096),
-                budget=budget,
-            )
-        )
+    for (label, _), point in zip(batch, points):
+        out[label].append(point)
     return out
 
 
 def speculative_execution(budget: Optional[RunBudget] = None,
-                          thread_counts=(1, 8)
+                          thread_counts=(1, 8),
+                          jobs: Optional[int] = None,
+                          use_cache: Optional[bool] = None
                           ) -> Dict[str, List[ExperimentPoint]]:
     """Restricted speculation (paper at 8/1 threads: no-wrong-path issue
     -7%/-38%; no passing branches -1.5%/-12%)."""
+    variants = (
+        ("baseline", {}),
+        ("no wrong-path issue", {"speculation": "no_wrong_path"}),
+        ("no passing branches", {"speculation": "no_pass_branch"}),
+    )
+    batch = [
+        (label, improved_baseline(t, **options))
+        for t in thread_counts
+        for label, options in variants
+    ]
+    points = run_configs(
+        batch, budget=budget, jobs=jobs, use_cache=use_cache
+    )
     out: Dict[str, List[ExperimentPoint]] = {
-        "baseline": [], "no wrong-path issue": [], "no passing branches": [],
+        label: [] for label, _ in variants
     }
-    for t in thread_counts:
-        out["baseline"].append(run_config(improved_baseline(t), budget=budget))
-        out["no wrong-path issue"].append(
-            run_config(
-                improved_baseline(t, speculation="no_wrong_path"),
-                budget=budget,
-            )
-        )
-        out["no passing branches"].append(
-            run_config(
-                improved_baseline(t, speculation="no_pass_branch"),
-                budget=budget,
-            )
-        )
+    for (label, _), point in zip(batch, points):
+        out[label].append(point)
     return out
 
 
 def memory_throughput(budget: Optional[RunBudget] = None,
-                      n_threads: int = 8) -> Dict[str, ExperimentPoint]:
+                      n_threads: int = 8,
+                      jobs: Optional[int] = None,
+                      use_cache: Optional[bool] = None
+                      ) -> Dict[str, ExperimentPoint]:
     """Infinite bandwidth caches (paper: +3%)."""
-    return {
-        "baseline": run_config(improved_baseline(n_threads), budget=budget),
-        "infinite bandwidth": run_config(
-            improved_baseline(n_threads, infinite_memory_bandwidth=True),
-            budget=budget,
-        ),
-    }
+    return _labeled_batch(
+        [
+            ("baseline", improved_baseline(n_threads)),
+            (
+                "infinite bandwidth",
+                improved_baseline(n_threads, infinite_memory_bandwidth=True),
+            ),
+        ],
+        budget, jobs, use_cache,
+    )
 
 
 def register_file_size(budget: Optional[RunBudget] = None,
                        n_threads: int = 8,
-                       excess_values=(70, 80, 90, 100, 200, 100000)
+                       excess_values=(70, 80, 90, 100, 200, 100000),
+                       jobs: Optional[int] = None,
+                       use_cache: Optional[bool] = None
                        ) -> List[Tuple[int, ExperimentPoint]]:
     """Excess-register sweep (paper: 90/-1%, 80/-3%, 70/-6%, inf/+2%)."""
-    return [
-        (
-            excess,
-            run_config(
-                improved_baseline(n_threads, excess_registers=excess),
-                budget=budget,
-            ),
-        )
-        for excess in excess_values
-    ]
+    points = run_configs(
+        [
+            (None, improved_baseline(n_threads, excess_registers=excess))
+            for excess in excess_values
+        ],
+        budget=budget, jobs=jobs, use_cache=use_cache,
+    )
+    return list(zip(excess_values, points))
 
 
 # ----------------------------------------------------------------------
-def print_report(budget: Optional[RunBudget] = None) -> None:
+def print_report(budget: Optional[RunBudget] = None,
+                 jobs: Optional[int] = None,
+                 use_cache: Optional[bool] = None) -> None:
     """Run every Section 7 experiment and print paper-style deltas."""
     print("Section 7 bottleneck experiments (baseline: ICOUNT.2.8)")
 
-    ib = issue_bandwidth(budget)
+    ib = issue_bandwidth(budget, jobs=jobs, use_cache=use_cache)
     print(f"  infinite FUs: {_delta(ib['baseline'], ib['infinite FUs']):+.1%} "
           "(paper: +0.5%)")
 
-    qs = queue_size(budget)
+    qs = queue_size(budget, jobs=jobs, use_cache=use_cache)
     print(f"  64-entry searchable queues: "
           f"{_delta(qs['baseline'], qs['64-entry queues']):+.1%} (paper: <+1%)")
 
-    fb = fetch_bandwidth(budget)
+    fb = fetch_bandwidth(budget, jobs=jobs, use_cache=use_cache)
     print(f"  16-wide fetch: {_delta(fb['baseline'], fb['16-wide fetch']):+.1%} "
           "(paper: +8%)")
     print(f"  ... + 64Q + 140 regs: "
           f"{_delta(fb['baseline'], fb['16-wide + 64Q + 140 regs']):+.1%} "
           "(paper: +15% total)")
 
-    bp = branch_prediction(budget)
+    bp = branch_prediction(budget, jobs=jobs, use_cache=use_cache)
     for i, t in enumerate((1, 4, 8)):
         d = _delta(bp["baseline"][i], bp["perfect"][i])
         paper = {1: "+25%", 4: "+15%", 8: "+9%"}[t]
@@ -177,7 +220,7 @@ def print_report(budget: Optional[RunBudget] = None) -> None:
     d = _delta(bp["baseline"][-1], bp["doubled tables"][-1])
     print(f"  doubled BTB+PHT @ 8T: {d:+.1%} (paper: +2%)")
 
-    sp = speculative_execution(budget)
+    sp = speculative_execution(budget, jobs=jobs, use_cache=use_cache)
     for i, t in enumerate((1, 8)):
         d1 = _delta(sp["baseline"][i], sp["no wrong-path issue"][i])
         d2 = _delta(sp["baseline"][i], sp["no passing branches"][i])
@@ -186,12 +229,12 @@ def print_report(budget: Optional[RunBudget] = None) -> None:
         print(f"  no wrong-path issue @ {t}T: {d1:+.1%} (paper: {paper1})")
         print(f"  no passing branches @ {t}T: {d2:+.1%} (paper: {paper2})")
 
-    mt = memory_throughput(budget)
+    mt = memory_throughput(budget, jobs=jobs, use_cache=use_cache)
     print(f"  infinite memory bandwidth: "
           f"{_delta(mt['baseline'], mt['infinite bandwidth']):+.1%} "
           "(paper: +3%)")
 
-    regs = register_file_size(budget)
+    regs = register_file_size(budget, jobs=jobs, use_cache=use_cache)
     base = dict(regs)[100]
     for excess, point in regs:
         name = "inf" if excess >= 100000 else str(excess)

@@ -1,0 +1,230 @@
+"""Persistent on-disk cache of simulation results.
+
+Every experiment data point is a pure function of its inputs: the
+machine configuration, the workload rotation (which itself is a pure
+function of the profile set and generator seed), and the run budget.
+Re-running a figure after a sweep therefore need not re-simulate
+anything — the :class:`ResultCache` memoises each ``SimResult`` on disk,
+keyed by a content hash over everything that determines it.
+
+Key ingredients (all serialised canonically before hashing):
+
+* every ``SMTConfig`` field,
+* the workload fingerprint — the profile fields of every program in the
+  rotation plus the generator seed — so recalibrating a workload
+  invalidates its entries,
+* the ``RunBudget`` fields,
+* any out-of-config overrides (e.g. the D-cache MSHR count used by the
+  sensitivity sweeps),
+* a schema version, bumped whenever the simulator's timing behaviour
+  changes.
+
+The cache directory defaults to ``$XDG_CACHE_HOME/repro-smt`` (or
+``~/.cache/repro-smt``) and is overridden by ``REPRO_CACHE_DIR``.
+Caching is disabled entirely by ``REPRO_NO_CACHE=1`` or the CLI's
+``--no-cache``.  Entries carry a checksum of their payload; corrupted,
+truncated, or stale (version-mismatched) files are detected, dropped,
+and recomputed rather than served.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Mapping, Optional
+
+import repro
+from repro.core.config import SMTConfig
+from repro.core.simulator import CacheStats, SimResult
+from repro.workloads.mixes import benchmark_rotation
+from repro.workloads.profiles import PROFILES
+
+#: Bump when a change to the simulator alters results for the same
+#: inputs (timing fixes, stat definitions, workload generator changes).
+#: The package version is hashed into every key as well, so release
+#: bumps invalidate the cache even if this is forgotten.
+CACHE_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Key derivation.
+# ----------------------------------------------------------------------
+def workload_fingerprint(n_threads: int, rotation: int, seed: int) -> Dict[str, Any]:
+    """Everything that determines the programs of one rotation."""
+    names = benchmark_rotation(n_threads, rotation)
+    return {
+        "seed": seed,
+        "programs": [dataclasses.asdict(PROFILES[name]) for name in names],
+    }
+
+
+def result_key(
+    config: SMTConfig,
+    rotation: int,
+    budget: Any,
+    seed: int = 0,
+    extras: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Content hash identifying one ``(config, rotation, budget)`` run."""
+    payload = {
+        "version": CACHE_SCHEMA_VERSION,
+        "package": repro.__version__,
+        "config": dataclasses.asdict(config),
+        "rotation": rotation,
+        "budget": dataclasses.asdict(budget),
+        "workload": workload_fingerprint(config.n_threads, rotation, seed),
+        "extras": dict(extras or {}),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# SimResult (de)serialisation.
+# ----------------------------------------------------------------------
+_CACHE_FIELDS = ("icache", "dcache", "l2", "l3")
+
+
+def result_to_dict(result: SimResult) -> Dict[str, Any]:
+    return dataclasses.asdict(result)
+
+
+def result_from_dict(data: Mapping[str, Any]) -> SimResult:
+    fields = dict(data)
+    for name in _CACHE_FIELDS:
+        value = fields.get(name)
+        if isinstance(value, dict):
+            fields[name] = CacheStats(**value)
+    # JSON object keys are strings; restore the per-thread int keys.
+    per_thread = fields.get("committed_per_thread") or {}
+    fields["committed_per_thread"] = {int(k): v for k, v in per_thread.items()}
+    return SimResult(**fields)
+
+
+def _checksum(result_dict: Mapping[str, Any]) -> str:
+    blob = json.dumps(result_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Cache directory resolution / enablement.
+# ----------------------------------------------------------------------
+def default_cache_dir() -> str:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro-smt")
+
+
+def cache_enabled_by_default() -> bool:
+    return not os.environ.get("REPRO_NO_CACHE")
+
+
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Content-addressed store of ``SimResult`` payloads, one JSON file
+    per key, written atomically so concurrent workers cannot corrupt
+    each other's entries."""
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory or default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> Optional[SimResult]:
+        """The cached result, or ``None`` on a miss.
+
+        A corrupted or stale entry (bad JSON, wrong schema version,
+        checksum mismatch) counts as a miss and is deleted so the slot
+        is recomputed cleanly.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("version") != CACHE_SCHEMA_VERSION:
+                raise ValueError("schema version mismatch")
+            result_dict = entry["result"]
+            if entry.get("checksum") != _checksum(result_dict):
+                raise ValueError("checksum mismatch")
+            result = result_from_dict(result_dict)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # Corrupt or stale: drop the entry and recompute.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimResult) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        result_dict = result_to_dict(result)
+        entry = {
+            "version": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "checksum": _checksum(result_dict),
+            "result": result_dict,
+        }
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".json", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, separators=(",", ":"))
+            os.replace(tmp_path, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        try:
+            return sum(
+                1 for name in os.listdir(self.directory)
+                if name.endswith(".json") and not name.startswith(".tmp-")
+            )
+        except FileNotFoundError:
+            return 0
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return 0
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                os.unlink(os.path.join(self.directory, name))
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}

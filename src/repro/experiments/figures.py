@@ -4,6 +4,11 @@ Each ``figureN`` function returns a dict mapping a line label to its
 list of :class:`~repro.experiments.runner.ExperimentPoint` (or, for
 Figure 7, a list of points), and ``print_figureN`` renders the same
 series the paper plots.
+
+Every figure assembles its full set of ``(label, config)`` pairs and
+submits them to the experiment engine as **one batch**, so the whole
+figure shards across the worker pool (and the result cache) instead of
+one data point at a time.
 """
 
 from __future__ import annotations
@@ -14,11 +19,21 @@ from repro.core.config import SMTConfig, scheme
 from repro.experiments.runner import (
     ExperimentPoint,
     RunBudget,
-    run_config,
-    sweep_threads,
+    run_configs,
 )
 
 THREAD_COUNTS = (1, 2, 4, 6, 8)
+
+
+def _grouped(labeled_configs, budget, jobs, use_cache):
+    """Run one batch and regroup the points by label, in input order."""
+    points = run_configs(
+        labeled_configs, budget=budget, jobs=jobs, use_cache=use_cache
+    )
+    data: Dict[str, List[ExperimentPoint]] = {}
+    for (label, _), point in zip(labeled_configs, points):
+        data.setdefault(label, []).append(point)
+    return data
 
 
 # ----------------------------------------------------------------------
@@ -26,18 +41,18 @@ THREAD_COUNTS = (1, 2, 4, 6, 8)
 # the unmodified-superscalar point.
 # ----------------------------------------------------------------------
 def figure3(budget: Optional[RunBudget] = None,
-            thread_counts=THREAD_COUNTS) -> Dict[str, List[ExperimentPoint]]:
-    base = sweep_threads(
-        lambda t: SMTConfig(n_threads=t),
-        thread_counts=thread_counts, budget=budget, label="RR.1.8",
+            thread_counts=THREAD_COUNTS,
+            jobs: Optional[int] = None,
+            use_cache: Optional[bool] = None) -> Dict[str, List[ExperimentPoint]]:
+    batch = [("RR.1.8", SMTConfig(n_threads=t)) for t in thread_counts]
+    batch.append(
+        ("superscalar", SMTConfig(n_threads=1, smt_pipeline=False))
     )
-    superscalar = [
-        run_config(
-            SMTConfig(n_threads=1, smt_pipeline=False),
-            budget=budget, label="superscalar",
-        )
-    ]
-    return {"RR.1.8": base, "Unmodified Superscalar": superscalar}
+    data = _grouped(batch, budget, jobs, use_cache)
+    return {
+        "RR.1.8": data["RR.1.8"],
+        "Unmodified Superscalar": data["superscalar"],
+    }
 
 
 def print_figure3(data: Dict[str, List[ExperimentPoint]]) -> None:
@@ -58,15 +73,15 @@ PARTITIONING_SCHEMES = ((1, 8), (2, 4), (4, 2), (2, 8))
 
 
 def figure4(budget: Optional[RunBudget] = None,
-            thread_counts=THREAD_COUNTS) -> Dict[str, List[ExperimentPoint]]:
-    data = {}
-    for num1, num2 in PARTITIONING_SCHEMES:
-        label = f"RR.{num1}.{num2}"
-        data[label] = sweep_threads(
-            lambda t, n1=num1, n2=num2: scheme("RR", n1, n2, n_threads=t),
-            thread_counts=thread_counts, budget=budget, label=label,
-        )
-    return data
+            thread_counts=THREAD_COUNTS,
+            jobs: Optional[int] = None,
+            use_cache: Optional[bool] = None) -> Dict[str, List[ExperimentPoint]]:
+    batch = [
+        (f"RR.{num1}.{num2}", scheme("RR", num1, num2, n_threads=t))
+        for num1, num2 in PARTITIONING_SCHEMES
+        for t in thread_counts
+    ]
+    return _grouped(batch, budget, jobs, use_cache)
 
 
 def print_figure4(data: Dict[str, List[ExperimentPoint]]) -> None:
@@ -82,18 +97,16 @@ FETCH_POLICY_NAMES = ("RR", "BRCOUNT", "MISSCOUNT", "ICOUNT", "IQPOSN")
 
 def figure5(budget: Optional[RunBudget] = None,
             thread_counts=(2, 4, 6, 8),
-            partitions=((1, 8), (2, 8))) -> Dict[str, List[ExperimentPoint]]:
-    data = {}
-    for num1, num2 in partitions:
-        for policy in FETCH_POLICY_NAMES:
-            label = f"{policy}.{num1}.{num2}"
-            data[label] = sweep_threads(
-                lambda t, p=policy, n1=num1, n2=num2: scheme(
-                    p, n1, n2, n_threads=t
-                ),
-                thread_counts=thread_counts, budget=budget, label=label,
-            )
-    return data
+            partitions=((1, 8), (2, 8)),
+            jobs: Optional[int] = None,
+            use_cache: Optional[bool] = None) -> Dict[str, List[ExperimentPoint]]:
+    batch = [
+        (f"{policy}.{num1}.{num2}", scheme(policy, num1, num2, n_threads=t))
+        for num1, num2 in partitions
+        for policy in FETCH_POLICY_NAMES
+        for t in thread_counts
+    ]
+    return _grouped(batch, budget, jobs, use_cache)
 
 
 def print_figure5(data: Dict[str, List[ExperimentPoint]]) -> None:
@@ -106,22 +119,24 @@ def print_figure5(data: Dict[str, List[ExperimentPoint]]) -> None:
 # ----------------------------------------------------------------------
 def figure6(budget: Optional[RunBudget] = None,
             thread_counts=THREAD_COUNTS,
-            partitions=((1, 8), (2, 8))) -> Dict[str, List[ExperimentPoint]]:
-    data = {}
-    for num1, num2 in partitions:
-        for variant, options in (
-            ("ICOUNT", {}),
-            ("BIGQ,ICOUNT", {"bigq": True}),
-            ("ITAG,ICOUNT", {"itag": True}),
-        ):
-            label = f"{variant}.{num1}.{num2}"
-            data[label] = sweep_threads(
-                lambda t, n1=num1, n2=num2, o=options: scheme(
-                    "ICOUNT", n1, n2, n_threads=t, **o
-                ),
-                thread_counts=thread_counts, budget=budget, label=label,
-            )
-    return data
+            partitions=((1, 8), (2, 8)),
+            jobs: Optional[int] = None,
+            use_cache: Optional[bool] = None) -> Dict[str, List[ExperimentPoint]]:
+    variants = (
+        ("ICOUNT", {}),
+        ("BIGQ,ICOUNT", {"bigq": True}),
+        ("ITAG,ICOUNT", {"itag": True}),
+    )
+    batch = [
+        (
+            f"{variant}.{num1}.{num2}",
+            scheme("ICOUNT", num1, num2, n_threads=t, **options),
+        )
+        for num1, num2 in partitions
+        for variant, options in variants
+        for t in thread_counts
+    ]
+    return _grouped(batch, budget, jobs, use_cache)
 
 
 def print_figure6(data: Dict[str, List[ExperimentPoint]]) -> None:
@@ -135,15 +150,18 @@ def print_figure6(data: Dict[str, List[ExperimentPoint]]) -> None:
 # ----------------------------------------------------------------------
 def figure7(budget: Optional[RunBudget] = None,
             thread_counts=(1, 2, 3, 4, 5),
-            total_registers: int = 200) -> List[ExperimentPoint]:
-    points = []
-    for t in thread_counts:
-        config = scheme(
-            "ICOUNT", 2, 8, n_threads=t, phys_regs_total=total_registers
+            total_registers: int = 200,
+            jobs: Optional[int] = None,
+            use_cache: Optional[bool] = None) -> List[ExperimentPoint]:
+    batch = [
+        (
+            f"{total_registers}regs",
+            scheme("ICOUNT", 2, 8, n_threads=t,
+                   phys_regs_total=total_registers),
         )
-        points.append(run_config(config, budget=budget,
-                                 label=f"{total_registers}regs"))
-    return points
+        for t in thread_counts
+    ]
+    return run_configs(batch, budget=budget, jobs=jobs, use_cache=use_cache)
 
 
 def print_figure7(points: List[ExperimentPoint]) -> None:

@@ -1,0 +1,197 @@
+"""Parallel experiment execution engine.
+
+Every paper artifact (Figures 3-7, Tables 3-5, the Section 7 bottleneck
+hunt) is assembled from dozens of independent ``(config, rotation)``
+simulations.  This module shards those runs across a ``multiprocessing``
+pool — each worker constructs its own :class:`Simulator` from a
+picklable :class:`RunSpec` and returns a ``SimResult`` — and memoises
+every result in the persistent on-disk cache of
+:mod:`repro.experiments.cache`.
+
+Determinism: a simulation is a pure function of its ``RunSpec`` (the
+workload generator is seeded from stable content hashes, never from
+process state), so the parallel path produces ``SimResult``s that are
+field-identical to the serial path, and results are always returned in
+spec order regardless of worker scheduling.
+
+Knobs, in precedence order:
+
+* explicit ``jobs=`` / ``use_cache=`` arguments,
+* :func:`configure` (set by the CLI's ``--jobs`` / ``--no-cache``),
+* the ``REPRO_JOBS`` and ``REPRO_NO_CACHE`` environment variables,
+* defaults: serial, cache enabled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+from repro.core.config import SMTConfig
+from repro.core.simulator import SimResult, Simulator
+from repro.experiments.cache import (
+    ResultCache,
+    cache_enabled_by_default,
+    result_key,
+)
+from repro.workloads.mixes import standard_mix
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.runner import RunBudget
+
+
+# ----------------------------------------------------------------------
+# Run specification.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation run, fully specified and picklable."""
+
+    config: SMTConfig
+    rotation: int
+    budget: "RunBudget"
+    seed: int = 0
+    #: Out-of-config override used by the MSHR sensitivity sweep.
+    dcache_mshrs: Optional[int] = None
+
+    def key(self) -> str:
+        """The run's content hash (its identity in the result cache)."""
+        extras = {}
+        if self.dcache_mshrs is not None:
+            extras["dcache_mshrs"] = self.dcache_mshrs
+        return result_key(
+            self.config, self.rotation, self.budget,
+            seed=self.seed, extras=extras,
+        )
+
+
+def build_simulator(spec: RunSpec) -> Simulator:
+    """Construct the simulator a spec describes (worker-side)."""
+    sim = Simulator(
+        spec.config,
+        standard_mix(spec.config.n_threads, spec.rotation, spec.seed),
+    )
+    if spec.dcache_mshrs is not None:
+        from repro.memory.hierarchy import DCACHE_PARAMS
+        sim.hierarchy.dcache.params = dataclasses.replace(
+            DCACHE_PARAMS, mshrs=spec.dcache_mshrs
+        )
+    return sim
+
+
+def run_spec(spec: RunSpec) -> SimResult:
+    """Execute one run start to finish (the pool worker function)."""
+    budget = spec.budget
+    return build_simulator(spec).run(
+        warmup_cycles=budget.warmup_cycles,
+        measure_cycles=budget.measure_cycles,
+        functional_warmup_instructions=budget.functional_warmup_instructions,
+    )
+
+
+# ----------------------------------------------------------------------
+# Engine configuration.
+# ----------------------------------------------------------------------
+_configured_jobs: Optional[int] = None
+_configured_use_cache: Optional[bool] = None
+
+_UNSET = object()
+
+
+def configure(jobs: Any = _UNSET, use_cache: Any = _UNSET) -> None:
+    """Set process-wide defaults (the CLI's ``--jobs`` / ``--no-cache``).
+
+    Pass ``None`` to reset a knob to its environment-derived default.
+    """
+    global _configured_jobs, _configured_use_cache
+    if jobs is not _UNSET:
+        _configured_jobs = jobs
+    if use_cache is not _UNSET:
+        _configured_use_cache = use_cache
+
+
+def default_jobs() -> int:
+    if _configured_jobs is not None:
+        return _configured_jobs
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+def default_use_cache() -> bool:
+    if _configured_use_cache is not None:
+        return _configured_use_cache
+    return cache_enabled_by_default()
+
+
+def _pool(processes: int):
+    """A worker pool; ``fork`` keeps the parent's warm program cache."""
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = multiprocessing.get_context()
+    return ctx.Pool(processes=processes)
+
+
+# ----------------------------------------------------------------------
+# The engine.
+# ----------------------------------------------------------------------
+def execute_runs(
+    specs: Sequence[RunSpec],
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[SimResult]:
+    """Run every spec, returning results in spec order.
+
+    Cache hits are served without simulating; identical specs within the
+    batch are simulated once (runs are deterministic, so this is purely
+    an optimisation — the Section 7 report alone repeats its baseline
+    half a dozen times).  Misses are sharded across ``jobs`` worker
+    processes when ``jobs > 1``.
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    if use_cache is None:
+        use_cache = default_use_cache()
+    if cache is None and use_cache:
+        cache = ResultCache()
+
+    results: List[Optional[SimResult]] = [None] * len(specs)
+    keys = [spec.key() for spec in specs]
+
+    if cache is not None:
+        for i, key in enumerate(keys):
+            results[i] = cache.get(key)
+
+    # Dedupe outstanding work by key, preserving first-seen order.
+    pending: Dict[str, List[int]] = {}
+    order: List[int] = []
+    for i, result in enumerate(results):
+        if result is None:
+            indices = pending.setdefault(keys[i], [])
+            if not indices:
+                order.append(i)
+            indices.append(i)
+
+    miss_specs = [specs[i] for i in order]
+    if miss_specs:
+        if jobs > 1 and len(miss_specs) > 1:
+            with _pool(min(jobs, len(miss_specs))) as pool:
+                miss_results = pool.map(run_spec, miss_specs, chunksize=1)
+        else:
+            miss_results = [run_spec(spec) for spec in miss_specs]
+        for i, result in zip(order, miss_results):
+            for j in pending[keys[i]]:
+                results[j] = result
+            if cache is not None:
+                cache.put(keys[i], result)
+
+    return results  # type: ignore[return-value]

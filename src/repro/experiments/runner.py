@@ -6,17 +6,23 @@ simulates hundreds of millions of instructions.  We reproduce the
 rotation and average a configurable number of runs; run lengths are set
 by a :class:`RunBudget` that scales down for quick checks (set the
 ``REPRO_FAST`` environment variable) and up for final numbers.
+
+All execution is routed through the parallel experiment engine
+(:mod:`repro.experiments.parallel`): runs shard across a worker pool
+when ``jobs > 1`` and memoise into the persistent result cache, while
+preserving the exact rotation seeds and averaging order of the serial
+path — the results are field-identical however they were produced.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.config import SMTConfig
-from repro.core.simulator import SimResult, Simulator
-from repro.workloads.mixes import standard_mix
+from repro.core.simulator import SimResult
+from repro.experiments.parallel import RunSpec, execute_runs
 
 
 @dataclass(frozen=True)
@@ -59,32 +65,58 @@ class ExperimentPoint:
         return sum(values) / len(values)
 
 
+def _point_from_results(
+    label: str, n_threads: int, results: List[SimResult]
+) -> ExperimentPoint:
+    """Average rotations into a point, in rotation order."""
+    ipc = sum(r.ipc for r in results) / len(results)
+    return ExperimentPoint(
+        label=label, n_threads=n_threads, ipc=ipc, results=results
+    )
+
+
+def run_configs(
+    labeled_configs: Sequence[Tuple[Optional[str], SMTConfig]],
+    budget: Optional[RunBudget] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+) -> List[ExperimentPoint]:
+    """Run a batch of ``(label, config)`` pairs as one sharded workload.
+
+    Every rotation of every config becomes one unit of work, so a whole
+    figure parallelises across the pool instead of one data point at a
+    time.  Points come back in input order, each averaging its rotations
+    in rotation order (exactly as the serial path always has).
+    """
+    budget = budget or RunBudget.from_environment()
+    specs = [
+        RunSpec(config=config, rotation=rotation, budget=budget)
+        for _, config in labeled_configs
+        for rotation in range(budget.rotations)
+    ]
+    results = execute_runs(specs, jobs=jobs, use_cache=use_cache)
+    points = []
+    for i, (label, config) in enumerate(labeled_configs):
+        chunk = results[i * budget.rotations:(i + 1) * budget.rotations]
+        points.append(
+            _point_from_results(
+                label or config.scheme_name, config.n_threads, list(chunk)
+            )
+        )
+    return points
+
+
 def run_config(
     config: SMTConfig,
     budget: Optional[RunBudget] = None,
     label: Optional[str] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> ExperimentPoint:
     """Run one machine configuration over rotated workloads; average."""
-    budget = budget or RunBudget.from_environment()
-    results = []
-    for rotation in range(budget.rotations):
-        sim = Simulator(config, standard_mix(config.n_threads, rotation))
-        results.append(
-            sim.run(
-                warmup_cycles=budget.warmup_cycles,
-                measure_cycles=budget.measure_cycles,
-                functional_warmup_instructions=(
-                    budget.functional_warmup_instructions
-                ),
-            )
-        )
-    ipc = sum(r.ipc for r in results) / len(results)
-    return ExperimentPoint(
-        label=label or config.scheme_name,
-        n_threads=config.n_threads,
-        ipc=ipc,
-        results=results,
-    )
+    return run_configs(
+        [(label, config)], budget=budget, jobs=jobs, use_cache=use_cache
+    )[0]
 
 
 def average_runs(points: List[ExperimentPoint]) -> float:
@@ -97,9 +129,11 @@ def sweep_threads(
     thread_counts=(1, 2, 4, 6, 8),
     budget: Optional[RunBudget] = None,
     label: Optional[str] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> List[ExperimentPoint]:
     """Run a config family across thread counts (a figure line)."""
-    return [
-        run_config(make_config(t), budget=budget, label=label)
-        for t in thread_counts
-    ]
+    return run_configs(
+        [(label, make_config(t)) for t in thread_counts],
+        budget=budget, jobs=jobs, use_cache=use_cache,
+    )

@@ -12,6 +12,10 @@ architect adopting this simulator would ask next:
 * return-stack depth (0 → 32, the xlisp recursion question),
 * D-cache MSHRs (1 → 32, memory-level parallelism),
 * hardware contexts at a fixed register budget (generalised Figure 7).
+
+Every sweep submits its full batch to the parallel experiment engine,
+so the design space shards across the worker pool and lands in the
+persistent result cache.
 """
 
 from __future__ import annotations
@@ -19,7 +23,12 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.core.config import SMTConfig, scheme
-from repro.experiments.runner import ExperimentPoint, RunBudget, run_config
+from repro.experiments.parallel import RunSpec, execute_runs
+from repro.experiments.runner import (
+    ExperimentPoint,
+    RunBudget,
+    run_configs,
+)
 
 Sweep = List[Tuple[int, ExperimentPoint]]
 
@@ -28,94 +37,101 @@ def _base(n_threads: int = 8, **overrides) -> SMTConfig:
     return scheme("ICOUNT", 2, 8, n_threads=n_threads, **overrides)
 
 
+def _sweep(values, labeled_configs, budget, jobs, use_cache) -> Sweep:
+    points = run_configs(
+        labeled_configs, budget=budget, jobs=jobs, use_cache=use_cache
+    )
+    return list(zip(values, points))
+
+
 def queue_size_sweep(budget: Optional[RunBudget] = None,
                      sizes=(8, 16, 32, 64),
-                     n_threads: int = 8) -> Sweep:
+                     n_threads: int = 8,
+                     jobs: Optional[int] = None,
+                     use_cache: Optional[bool] = None) -> Sweep:
     """IQ entries per queue.  The paper fixes 32; the sweep shows the
     knee (too-small queues throttle, big ones buy little)."""
-    return [
-        (size,
-         run_config(_base(n_threads, iq_size=size), budget=budget,
-                    label=f"iq{size}"))
-        for size in sizes
-    ]
+    return _sweep(
+        sizes,
+        [(f"iq{size}", _base(n_threads, iq_size=size)) for size in sizes],
+        budget, jobs, use_cache,
+    )
 
 
 def pht_size_sweep(budget: Optional[RunBudget] = None,
                    sizes=(256, 1024, 2048, 8192),
-                   n_threads: int = 8) -> Sweep:
+                   n_threads: int = 8,
+                   jobs: Optional[int] = None,
+                   use_cache: Optional[bool] = None) -> Sweep:
     """Pattern history table entries (paper fixes 2K; doubling both
     tables bought only ~2%)."""
-    return [
-        (size,
-         run_config(_base(n_threads, pht_entries=size), budget=budget,
-                    label=f"pht{size}"))
-        for size in sizes
-    ]
+    return _sweep(
+        sizes,
+        [(f"pht{size}", _base(n_threads, pht_entries=size)) for size in sizes],
+        budget, jobs, use_cache,
+    )
 
 
 def ras_depth_sweep(budget: Optional[RunBudget] = None,
                     depths=(1, 4, 12, 32),
-                    n_threads: int = 8) -> Sweep:
+                    n_threads: int = 8,
+                    jobs: Optional[int] = None,
+                    use_cache: Optional[bool] = None) -> Sweep:
     """Per-context return-stack depth (paper fixes 12; xlisp's
     recursion overflows shallow stacks)."""
-    return [
-        (depth,
-         run_config(_base(n_threads, ras_depth=depth), budget=budget,
-                    label=f"ras{depth}"))
-        for depth in depths
-    ]
+    return _sweep(
+        depths,
+        [(f"ras{depth}", _base(n_threads, ras_depth=depth)) for depth in depths],
+        budget, jobs, use_cache,
+    )
 
 
 def mshr_sweep(budget: Optional[RunBudget] = None,
                counts=(1, 4, 16, 32),
-               n_threads: int = 8) -> Sweep:
+               n_threads: int = 8,
+               jobs: Optional[int] = None,
+               use_cache: Optional[bool] = None) -> Sweep:
     """D-cache miss-status registers: memory-level parallelism across
-    8 threads' miss streams."""
-    from repro.core.simulator import Simulator
-    from repro.memory.hierarchy import DCACHE_PARAMS
-    from repro.workloads.mixes import standard_mix
-    import dataclasses
+    8 threads' miss streams.
 
+    The MSHR count is not an :class:`SMTConfig` knob, so the sweep
+    builds :class:`RunSpec`s with the ``dcache_mshrs`` override directly
+    (the override participates in the cache key)."""
     budget = budget or RunBudget.from_environment()
-    out = []
-    for count in counts:
-        results = []
-        for rotation in range(budget.rotations):
-            config = _base(n_threads)
-            sim = Simulator(config, standard_mix(n_threads, rotation))
-            sim.hierarchy.dcache.params = dataclasses.replace(
-                DCACHE_PARAMS, mshrs=count
-            )
-            results.append(sim.run(
-                warmup_cycles=budget.warmup_cycles,
-                measure_cycles=budget.measure_cycles,
-                functional_warmup_instructions=(
-                    budget.functional_warmup_instructions
-                ),
-            ))
-        ipc = sum(r.ipc for r in results) / len(results)
+    specs = [
+        RunSpec(config=_base(n_threads), rotation=rotation, budget=budget,
+                dcache_mshrs=count)
+        for count in counts
+        for rotation in range(budget.rotations)
+    ]
+    results = execute_runs(specs, jobs=jobs, use_cache=use_cache)
+    out: Sweep = []
+    for i, count in enumerate(counts):
+        chunk = results[i * budget.rotations:(i + 1) * budget.rotations]
+        ipc = sum(r.ipc for r in chunk) / len(chunk)
         out.append((count, ExperimentPoint(
             label=f"mshr{count}", n_threads=n_threads, ipc=ipc,
-            results=results,
+            results=list(chunk),
         )))
     return out
 
 
 def contexts_at_register_budget(budget: Optional[RunBudget] = None,
                                 total_registers: int = 264,
-                                thread_counts=(1, 2, 4, 6)) -> Sweep:
+                                thread_counts=(1, 2, 4, 6),
+                                jobs: Optional[int] = None,
+                                use_cache: Optional[bool] = None) -> Sweep:
     """Generalised Figure 7: the best context count for any register
     budget (264 = 8 threads' architectural registers + 8)."""
-    out = []
-    for t in thread_counts:
-        if total_registers <= 32 * t:
-            continue
-        out.append((t, run_config(
-            _base(t, phys_regs_total=total_registers),
-            budget=budget, label=f"{total_registers}regs",
-        )))
-    return out
+    usable = [t for t in thread_counts if total_registers > 32 * t]
+    return _sweep(
+        usable,
+        [
+            (f"{total_registers}regs", _base(t, phys_regs_total=total_registers))
+            for t in usable
+        ],
+        budget, jobs, use_cache,
+    )
 
 
 def print_sweep(title: str, sweep: Sweep, unit: str = "") -> None:

@@ -9,7 +9,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import SMTConfig, scheme
-from repro.experiments.runner import ExperimentPoint, RunBudget, run_config
+from repro.experiments.runner import (
+    ExperimentPoint,
+    RunBudget,
+    run_configs,
+)
 from repro.isa.instructions import INSTRUCTION_LATENCIES, InstrClass
 from repro.memory.hierarchy import (
     DCACHE_PARAMS,
@@ -78,11 +82,14 @@ TABLE3_CACHES = (
 
 
 def table3(budget: Optional[RunBudget] = None,
-           thread_counts=(1, 4, 8)) -> Dict[int, ExperimentPoint]:
-    return {
-        t: run_config(SMTConfig(n_threads=t), budget=budget)
-        for t in thread_counts
-    }
+           thread_counts=(1, 4, 8),
+           jobs: Optional[int] = None,
+           use_cache: Optional[bool] = None) -> Dict[int, ExperimentPoint]:
+    points = run_configs(
+        [(None, SMTConfig(n_threads=t)) for t in thread_counts],
+        budget=budget, jobs=jobs, use_cache=use_cache,
+    )
+    return dict(zip(thread_counts, points))
 
 
 def print_table3(points: Dict[int, ExperimentPoint]) -> None:
@@ -117,14 +124,16 @@ TABLE4_METRICS = (
 )
 
 
-def table4(budget: Optional[RunBudget] = None) -> Dict[str, ExperimentPoint]:
-    return {
-        "1 thread": run_config(SMTConfig(n_threads=1), budget=budget),
-        "RR.2.8": run_config(scheme("RR", 2, 8, n_threads=8), budget=budget),
-        "ICOUNT.2.8": run_config(
-            scheme("ICOUNT", 2, 8, n_threads=8), budget=budget
-        ),
-    }
+def table4(budget: Optional[RunBudget] = None,
+           jobs: Optional[int] = None,
+           use_cache: Optional[bool] = None) -> Dict[str, ExperimentPoint]:
+    batch = [
+        ("1 thread", SMTConfig(n_threads=1)),
+        ("RR.2.8", scheme("RR", 2, 8, n_threads=8)),
+        ("ICOUNT.2.8", scheme("ICOUNT", 2, 8, n_threads=8)),
+    ]
+    points = run_configs(batch, budget=budget, jobs=jobs, use_cache=use_cache)
+    return {label: point for (label, _), point in zip(batch, points)}
 
 
 def print_table4(points: Dict[str, ExperimentPoint]) -> None:
@@ -143,17 +152,22 @@ ISSUE_SCHEMES = ("OLDEST", "OPT_LAST", "SPEC_LAST", "BRANCH_FIRST")
 
 
 def table5(budget: Optional[RunBudget] = None,
-           thread_counts=(1, 2, 4, 6, 8)
+           thread_counts=(1, 2, 4, 6, 8),
+           jobs: Optional[int] = None,
+           use_cache: Optional[bool] = None
            ) -> Dict[str, List[ExperimentPoint]]:
-    data = {}
-    for issue_policy in ISSUE_SCHEMES:
-        data[issue_policy] = [
-            run_config(
-                scheme("ICOUNT", 2, 8, n_threads=t, issue_policy=issue_policy),
-                budget=budget, label=issue_policy,
-            )
-            for t in thread_counts
-        ]
+    batch = [
+        (
+            issue_policy,
+            scheme("ICOUNT", 2, 8, n_threads=t, issue_policy=issue_policy),
+        )
+        for issue_policy in ISSUE_SCHEMES
+        for t in thread_counts
+    ]
+    points = run_configs(batch, budget=budget, jobs=jobs, use_cache=use_cache)
+    data: Dict[str, List[ExperimentPoint]] = {}
+    for (label, _), point in zip(batch, points):
+        data.setdefault(label, []).append(point)
     return data
 
 

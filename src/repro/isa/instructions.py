@@ -184,74 +184,44 @@ class Instruction:
     rs2_file: RegFile = RegFile.INT
 
     # ------------------------------------------------------------------
-    # Static classification helpers used throughout the timing core.
+    # Static classification, precomputed once per static instruction.
+    #
+    # Every dynamic uop consults these (millions of reads per run); as
+    # plain instance attributes they are one dict lookup instead of a
+    # property call chaining through two enum descriptor lookups.
+    # ``is_fp`` follows the paper: the *integer* queue handles integer
+    # instructions and all loads/stores (including FP ones); the FP
+    # queue handles FP arithmetic only.
     # ------------------------------------------------------------------
-    @property
-    def iclass(self) -> InstrClass:
-        return self.opcode.iclass
-
-    @property
-    def latency(self) -> int:
-        return INSTRUCTION_LATENCIES[self.opcode.iclass]
-
-    @property
-    def is_control(self) -> bool:
-        return self.opcode.iclass in _CONTROL_CLASSES
-
-    @property
-    def is_cond_branch(self) -> bool:
-        return self.opcode.iclass is InstrClass.BRANCH
-
-    @property
-    def is_jump(self) -> bool:
-        return self.opcode.iclass in (InstrClass.JUMP, InstrClass.JUMP_IND)
-
-    @property
-    def is_indirect(self) -> bool:
-        return self.opcode.iclass is InstrClass.JUMP_IND
-
-    @property
-    def is_call(self) -> bool:
-        return self.opcode is Opcode.JAL
-
-    @property
-    def is_return(self) -> bool:
-        return self.opcode is Opcode.RET
-
-    @property
-    def is_load(self) -> bool:
-        return self.opcode.iclass is InstrClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.opcode.iclass is InstrClass.STORE
-
-    @property
-    def is_mem(self) -> bool:
-        return self.opcode.iclass in (InstrClass.LOAD, InstrClass.STORE)
-
-    @property
-    def is_fp(self) -> bool:
-        """True if the instruction dispatches to the floating-point queue.
-
-        Following the paper, the *integer* queue handles integer
-        instructions and **all** load/store operations (including FP loads
-        and stores); the FP queue handles FP arithmetic only.
-        """
-        return self.opcode.iclass in _FP_CLASSES
-
-    @property
-    def writes_reg(self) -> bool:
-        return self.rd is not None
-
-    def sources(self) -> Tuple[Tuple[int, RegFile], ...]:
-        """Return the (register, regfile) pairs this instruction reads."""
+    def __post_init__(self):
+        opcode = self.opcode
+        iclass = opcode.value[1]
+        cache = object.__setattr__  # the dataclass is frozen
+        cache(self, "iclass", iclass)
+        cache(self, "latency", INSTRUCTION_LATENCIES[iclass])
+        cache(self, "is_control", iclass in _CONTROL_CLASSES)
+        cache(self, "is_cond_branch", iclass is InstrClass.BRANCH)
+        cache(self, "is_jump",
+              iclass is InstrClass.JUMP or iclass is InstrClass.JUMP_IND)
+        cache(self, "is_indirect", iclass is InstrClass.JUMP_IND)
+        cache(self, "is_call", opcode is Opcode.JAL)
+        cache(self, "is_return", opcode is Opcode.RET)
+        cache(self, "is_load", iclass is InstrClass.LOAD)
+        cache(self, "is_store", iclass is InstrClass.STORE)
+        cache(self, "is_mem",
+              iclass is InstrClass.LOAD or iclass is InstrClass.STORE)
+        cache(self, "is_fp", iclass in _FP_CLASSES)
+        cache(self, "writes_reg", self.rd is not None)
         srcs = []
         if self.rs1 is not None:
             srcs.append((self.rs1, self.rs1_file))
         if self.rs2 is not None:
             srcs.append((self.rs2, self.rs2_file))
-        return tuple(srcs)
+        cache(self, "_sources", tuple(srcs))
+
+    def sources(self) -> Tuple[Tuple[int, RegFile], ...]:
+        """Return the (register, regfile) pairs this instruction reads."""
+        return self._sources
 
     # ------------------------------------------------------------------
     def __str__(self) -> str:

@@ -63,6 +63,8 @@ class Program:
         self.symbols: Dict[str, int] = dict(symbols or {})
         self.name = name
         self.entry: int = self.symbols.get("_start", TEXT_BASE)
+        # Cached bound for the fetch hot path (consulted per fetched uop).
+        self._text_end: int = TEXT_BASE + INSTR_BYTES * len(self.instructions)
 
     # ------------------------------------------------------------------
     @property
@@ -72,13 +74,13 @@ class Program:
     @property
     def text_end(self) -> int:
         """One past the last valid instruction byte address."""
-        return TEXT_BASE + INSTR_BYTES * len(self.instructions)
+        return self._text_end
 
     def __len__(self) -> int:
         return len(self.instructions)
 
     def in_text(self, pc: int) -> bool:
-        return TEXT_BASE <= pc < self.text_end and pc % INSTR_BYTES == 0
+        return TEXT_BASE <= pc < self._text_end and pc % INSTR_BYTES == 0
 
     def fetch(self, pc: int) -> Optional[Instruction]:
         """Return the static instruction at byte address ``pc``.

@@ -53,6 +53,7 @@ AUX + 24576..32767 stack (grows down from AUX + 32760)
 from __future__ import annotations
 
 import random
+import zlib
 from typing import List, Optional
 
 from repro.isa.assembler import assemble
@@ -392,7 +393,8 @@ def generate_program(profile: WorkloadProfile, seed: int = 0) -> Program:
     Deterministic in ``(profile, seed)``.  The returned program never
     halts; the simulator runs it for a fixed cycle/instruction budget.
     """
-    rng = random.Random((hash(profile.name) & 0xFFFF_FFFF) ^ (seed * 0x9E3779B9))
+    name_hash = zlib.crc32(profile.name.encode("ascii")) & 0xFFFF_FFFF
+    rng = random.Random(name_hash ^ (seed * 0x9E3779B9))
     b = _Builder(profile, rng)
     ws = profile.working_set
 

@@ -1,0 +1,47 @@
+"""Regression tests: the pending-execution map stays bounded.
+
+``Simulator.pending_exec`` maps future execute cycles to the uops
+scheduled for them.  Entries for past cycles are useless (the issue
+stage only scans forward from the current cycle), so ``step()`` sweeps
+them out every 1024 cycles; without the sweep a long-lived simulator
+leaks one dict entry per squashed schedule slot.
+"""
+
+from repro.core.config import SMTConfig, scheme
+from repro.core.simulator import Simulator
+from repro.workloads.mixes import standard_mix
+
+
+def _make(config):
+    return Simulator(config, standard_mix(config.n_threads, 0))
+
+
+class TestPendingExecGC:
+    def test_pending_exec_bounded_over_long_run(self):
+        sim = _make(scheme("ICOUNT", 2, 8, n_threads=2))
+        sim.functional_warmup(3000)
+        for _ in range(4096):
+            sim.step()
+        # Only the lookahead window (current cycle .. +exec_offset) plus
+        # at most one GC period of stragglers may be populated.
+        assert len(sim.pending_exec) <= sim.cfg.exec_offset + 1 + 1024
+        assert all(c >= sim.cycle - 1024 for c in sim.pending_exec)
+
+    def test_stale_entries_swept(self):
+        sim = _make(SMTConfig(n_threads=1))
+        sim.functional_warmup(2000)
+        # Plant entries far in the past; the periodic sweep must drop
+        # them within one GC period.
+        sim.pending_exec[-5] = []
+        sim.pending_exec[-6] = []
+        for _ in range(1100):
+            sim.step()
+        assert -5 not in sim.pending_exec
+        assert -6 not in sim.pending_exec
+
+    def test_gc_keeps_future_entries(self):
+        sim = _make(SMTConfig(n_threads=1))
+        future = sim.cycle + 10_000
+        sim.pending_exec[future] = []
+        sim._gc_pending_exec()
+        assert future in sim.pending_exec

@@ -1,0 +1,123 @@
+"""Determinism tests for the parallel experiment engine.
+
+The engine's contract: results are field-identical no matter how they
+were produced — serially, sharded across a worker pool, or replayed
+from the persistent cache.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import SMTConfig, scheme
+from repro.experiments import parallel
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import RunSpec, execute_runs, run_spec
+from repro.experiments.runner import RunBudget, run_config
+
+TINY = RunBudget(warmup_cycles=100, measure_cycles=600,
+                 functional_warmup_instructions=3000, rotations=2)
+
+
+def _specs():
+    return [
+        RunSpec(config=SMTConfig(n_threads=2), rotation=r, budget=TINY)
+        for r in range(2)
+    ] + [
+        RunSpec(config=scheme("ICOUNT", 2, 8, n_threads=2), rotation=0,
+                budget=TINY),
+    ]
+
+
+def _fields(result):
+    return dataclasses.asdict(result)
+
+
+@pytest.fixture
+def no_cache_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    parallel.configure(jobs=None, use_cache=None)
+    yield
+    parallel.configure(jobs=None, use_cache=None)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self, no_cache_env):
+        specs = _specs()
+        serial = execute_runs(specs, jobs=1, use_cache=False)
+        pooled = execute_runs(specs, jobs=2, use_cache=False)
+        assert [_fields(r) for r in serial] == [_fields(r) for r in pooled]
+
+    def test_cache_round_trip_matches(self, no_cache_env, tmp_path):
+        specs = _specs()
+        cache = ResultCache(str(tmp_path))
+        fresh = execute_runs(specs, jobs=1, cache=cache)
+        assert cache.stats()["stores"] == len(specs)
+        replayed = execute_runs(specs, jobs=1, cache=cache)
+        assert cache.stats()["hits"] == len(specs)
+        assert [_fields(r) for r in fresh] == [_fields(r) for r in replayed]
+
+    def test_run_spec_is_pure(self, no_cache_env):
+        spec = _specs()[0]
+        assert _fields(run_spec(spec)) == _fields(run_spec(spec))
+
+    def test_duplicate_specs_simulated_once(self, no_cache_env, tmp_path):
+        spec = _specs()[0]
+        cache = ResultCache(str(tmp_path))
+        results = execute_runs([spec, spec, spec], jobs=1, cache=cache)
+        assert cache.stats()["stores"] == 1
+        assert results[0] is results[1] is results[2]
+
+    def test_run_config_uses_cache(self, no_cache_env, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        first = run_config(SMTConfig(n_threads=1), budget=TINY)
+        again = run_config(SMTConfig(n_threads=1), budget=TINY)
+        assert first.ipc == again.ipc
+        assert len(ResultCache(str(tmp_path))) == TINY.rotations
+
+
+class TestRunSpecKeys:
+    def test_key_is_stable(self):
+        a, b = _specs()[0], _specs()[0]
+        assert a.key() == b.key()
+
+    def test_key_distinguishes_config(self):
+        base = _specs()[0]
+        other = dataclasses.replace(base, config=SMTConfig(n_threads=4))
+        assert base.key() != other.key()
+
+    def test_key_distinguishes_rotation_and_budget(self):
+        base = _specs()[0]
+        assert base.key() != dataclasses.replace(base, rotation=5).key()
+        bigger = dataclasses.replace(
+            base, budget=dataclasses.replace(TINY, measure_cycles=700)
+        )
+        assert base.key() != bigger.key()
+
+    def test_key_distinguishes_mshr_override(self):
+        base = _specs()[0]
+        assert base.key() != dataclasses.replace(base, dcache_mshrs=4).key()
+
+
+class TestKnobs:
+    def test_default_jobs_env(self, monkeypatch):
+        parallel.configure(jobs=None)
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert parallel.default_jobs() == 3
+        monkeypatch.setenv("REPRO_JOBS", "garbage")
+        assert parallel.default_jobs() == 1
+
+    def test_configure_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        parallel.configure(jobs=2, use_cache=False)
+        try:
+            assert parallel.default_jobs() == 2
+            assert parallel.default_use_cache() is False
+        finally:
+            parallel.configure(jobs=None, use_cache=None)
+
+    def test_no_cache_env(self, monkeypatch):
+        parallel.configure(use_cache=None)
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert parallel.default_use_cache() is False

@@ -39,12 +39,17 @@ def main():
                     help="worker processes (default: REPRO_JOBS or 1)")
     ap.add_argument("--no-cache", action="store_true",
                     help="bypass the persistent result cache")
+    ap.add_argument("--progress", action="store_true",
+                    help="report per-batch progress (runs / cache hits / "
+                         "elapsed) on stderr")
     args = ap.parse_args()
 
-    use_cache = not args.no_cache and parallel.default_use_cache()
+    # Unset knobs stay None so REPRO_JOBS / REPRO_NO_CACHE are re-read
+    # on every batch instead of being frozen at startup.
     parallel.configure(
-        jobs=args.jobs if args.jobs is not None else parallel.default_jobs(),
-        use_cache=use_cache,
+        jobs=args.jobs,
+        use_cache=False if args.no_cache else None,
+        progress=parallel.progress_printer() if args.progress else None,
     )
 
     t0 = time.time()
@@ -85,7 +90,7 @@ def main():
     bottlenecks.print_report(BUDGET)
 
     print(f"\ntotal collection time: {time.time() - t0:.0f}s", flush=True)
-    if use_cache:
+    if not args.no_cache and parallel.default_use_cache():
         cache = ResultCache(default_cache_dir())
         print(f"result cache: {len(cache)} entries at {cache.directory}",
               flush=True)

@@ -4,49 +4,95 @@ Usage::
 
     python -m repro run --threads 8 --policy ICOUNT --num1 2 --num2 8
     python -m repro run --threads 1 --superscalar
+    python -m repro run --threads 4 --metrics --metrics-json run.json --trace 48
     python -m repro experiment fig3 [--fast | --full] [--jobs N] [--no-cache]
+    python -m repro experiment fig5 --export results/ --progress
     python -m repro experiment all
     python -m repro workload espresso --instructions 20000
     python -m repro list
 
 Every experiment subcommand regenerates one of the paper's tables or
-figures and prints it in the paper's format.
+figures and prints it in the paper's format; ``--export DIR`` also
+writes schema-versioned JSON + CSV artifacts (see docs/observability.md).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, Callable, List, NamedTuple, Optional
 
 from repro.core.config import (
     FETCH_POLICIES,
     ISSUE_POLICIES,
     SMTConfig,
 )
+from repro.core.histograms import MetricsCollector
 from repro.core.simulator import Simulator
-from repro.experiments import bottlenecks, figures, parallel, tables
+from repro.core.telemetry import TelemetrySampler
+from repro.core.trace import PipelineTracer
+from repro.experiments import bottlenecks, export, figures, parallel, tables
 from repro.experiments.runner import RunBudget
 from repro.workloads.mixes import standard_mix
 from repro.workloads.profiles import PROFILES
 from repro.workloads.synthetic import generate_program
 
+
+class Experiment(NamedTuple):
+    """One paper artifact: a compute step and a render step.
+
+    Keeping them separate lets ``--export`` serialise the computed data
+    alongside the printed tables; ``exportable`` is False for report
+    harnesses that print directly without returning tabular data.
+    """
+
+    compute: Callable[[RunBudget], Any]
+    render: Callable[[Any], None]
+    exportable: bool = True
+
+
+def _print_nothing(_data: Any) -> None:
+    pass
+
+
 EXPERIMENTS = {
-    "fig3": lambda budget: figures.print_figure3(figures.figure3(budget=budget)),
-    "fig4": lambda budget: figures.print_figure4(
-        figures.figure4(budget=budget, thread_counts=(1, 4, 8))
+    "fig3": Experiment(
+        lambda budget: figures.figure3(budget=budget),
+        figures.print_figure3,
     ),
-    "fig5": lambda budget: figures.print_figure5(
-        figures.figure5(budget=budget, thread_counts=(4, 8))
+    "fig4": Experiment(
+        lambda budget: figures.figure4(budget=budget, thread_counts=(1, 4, 8)),
+        figures.print_figure4,
     ),
-    "fig6": lambda budget: figures.print_figure6(
-        figures.figure6(budget=budget, thread_counts=(4, 8))
+    "fig5": Experiment(
+        lambda budget: figures.figure5(budget=budget, thread_counts=(4, 8)),
+        figures.print_figure5,
     ),
-    "fig7": lambda budget: figures.print_figure7(figures.figure7(budget=budget)),
-    "table3": lambda budget: tables.print_table3(tables.table3(budget=budget)),
-    "table4": lambda budget: tables.print_table4(tables.table4(budget=budget)),
-    "table5": lambda budget: tables.print_table5(tables.table5(budget=budget)),
-    "bottlenecks": lambda budget: bottlenecks.print_report(budget),
+    "fig6": Experiment(
+        lambda budget: figures.figure6(budget=budget, thread_counts=(4, 8)),
+        figures.print_figure6,
+    ),
+    "fig7": Experiment(
+        lambda budget: figures.figure7(budget=budget),
+        figures.print_figure7,
+    ),
+    "table3": Experiment(
+        lambda budget: tables.table3(budget=budget),
+        tables.print_table3,
+    ),
+    "table4": Experiment(
+        lambda budget: tables.table4(budget=budget),
+        tables.print_table4,
+    ),
+    "table5": Experiment(
+        lambda budget: tables.table5(budget=budget),
+        tables.print_table5,
+    ),
+    "bottlenecks": Experiment(
+        lambda budget: bottlenecks.print_report(budget),
+        _print_nothing,
+        exportable=False,
+    ),
 }
 
 
@@ -83,6 +129,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="timed warmup cycles (default 2000)")
     run.add_argument("--rotation", type=int, default=0,
                      help="workload rotation index (default 0)")
+    run.add_argument("--metrics", action="store_true",
+                     help="print timing histograms and the telemetry "
+                          "time series after the run")
+    run.add_argument("--metrics-json", metavar="PATH", default=None,
+                     help="write a schema-versioned JSON run report "
+                          "(result + histograms + telemetry)")
+    run.add_argument("--trace", type=int, metavar="WINDOW", default=None,
+                     help="print a text pipeview of the first WINDOW "
+                          "measured cycles")
+    run.add_argument("--telemetry-interval", type=int, default=200,
+                     metavar="CYCLES",
+                     help="telemetry sampling interval (default 200)")
 
     exp = sub.add_parser("experiment",
                          help="regenerate a table/figure of the paper")
@@ -96,6 +154,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: REPRO_JOBS or 1)")
     exp.add_argument("--no-cache", action="store_true",
                      help="bypass the persistent result cache")
+    exp.add_argument("--export", metavar="DIR", default=None,
+                     help="also write <name>.json and <name>.csv "
+                          "artifacts under DIR")
+    exp.add_argument("--progress", action="store_true",
+                     help="report batch progress (runs / cache hits / "
+                          "elapsed) on stderr")
 
     wl = sub.add_parser("workload",
                         help="inspect a synthetic benchmark program")
@@ -122,13 +186,30 @@ def cmd_run(args) -> int:
         perfect_branch_prediction=args.perfect_bp,
     )
     sim = Simulator(config, standard_mix(args.threads, args.rotation))
+
+    want_observers = args.metrics or args.metrics_json
+    metrics = MetricsCollector(sim) if want_observers else None
+    telemetry = (
+        TelemetrySampler(sim, interval=args.telemetry_interval)
+        if want_observers else None
+    )
+    tracer = (
+        PipelineTracer(sim, max_records=4096, start_cycle=args.warmup)
+        if args.trace else None
+    )
+
     result = sim.run(warmup_cycles=args.warmup, measure_cycles=args.cycles)
+    if telemetry is not None:
+        telemetry.finish()
+
     print(f"configuration : {config.scheme_name}, {args.threads} thread(s)"
           f"{' (superscalar pipeline)' if args.superscalar else ''}")
     print(f"cycles        : {result.cycles}")
     print(f"committed     : {result.committed}")
     print(f"IPC           : {result.ipc:.3f}")
     print(f"useful fetch  : {result.useful_fetch_per_cycle:.3f} /cycle")
+    print(f"fetch active  : {result.fetch_active_frac:.1%} of cycles "
+          f"({result.icache_miss_stall_events} I-miss stalls)")
     print(f"wrong-path    : {result.wrong_path_fetched_frac:.1%} fetched, "
           f"{result.wrong_path_issued_frac:.1%} issued")
     print(f"branch mpred  : {result.branch_mispredict_rate:.1%} "
@@ -145,6 +226,25 @@ def cmd_run(args) -> int:
         sorted(result.committed_per_thread.items())
     )
     print(f"per-thread    : {per_thread}")
+
+    if tracer is not None:
+        print()
+        print(f"pipeline trace, cycles {args.warmup}-"
+              f"{args.warmup + args.trace}:")
+        print(tracer.render(args.warmup, args.warmup + args.trace))
+    if args.metrics:
+        print()
+        print(metrics.report())
+        print()
+        print(f"telemetry ({args.telemetry_interval}-cycle intervals):")
+        print(telemetry.report())
+    if args.metrics_json:
+        document = export.write_run_json(
+            args.metrics_json, result, telemetry=telemetry, metrics=metrics
+        )
+        print(f"\nrun report    : {args.metrics_json} "
+              f"(schema {document['schema']} v{document['schema_version']}, "
+              f"{len(telemetry.samples)} telemetry samples)")
     return 0
 
 
@@ -157,13 +257,25 @@ def cmd_experiment(args) -> int:
                            functional_warmup_instructions=120000, rotations=4)
     else:
         budget = RunBudget.from_environment()
+    # Pass None for unset knobs: resolving the environment-derived
+    # defaults here would freeze REPRO_JOBS / REPRO_NO_CACHE for the
+    # rest of the process.
     parallel.configure(
-        jobs=args.jobs if args.jobs is not None else parallel.default_jobs(),
-        use_cache=not args.no_cache and parallel.default_use_cache(),
+        jobs=args.jobs,
+        use_cache=False if args.no_cache else None,
+        progress=parallel.progress_printer() if args.progress else None,
     )
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:
-        EXPERIMENTS[name](budget)
+        experiment = EXPERIMENTS[name]
+        data = experiment.compute(budget)
+        experiment.render(data)
+        if args.export:
+            if experiment.exportable:
+                for path in export.export_experiment(name, data, args.export):
+                    print(f"exported: {path}")
+            else:
+                print(f"({name} prints a report; no tabular export)")
         print()
     return 0
 

@@ -84,6 +84,24 @@ class Histogram:
                             else max(mine, theirs))
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for the structured exporters."""
+        return {
+            "name": self.name,
+            "bucket_width": self.bucket_width,
+            "count": self.count,
+            "total": self.total,
+            "mean": round(self.mean, 6),
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50) if self.count else None,
+            "p90": self.percentile(90) if self.count else None,
+            "p99": self.percentile(99) if self.count else None,
+            # JSON object keys must be strings; keys are bucket indices.
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+    # ------------------------------------------------------------------
     def render(self, width: int = 40, max_rows: int = 12) -> str:
         """ASCII bar rendering of the densest buckets (in order)."""
         if not self.count:
@@ -94,7 +112,13 @@ class Histogram:
             f"p90={self.percentile(90)} p99={self.percentile(99)} "
             f"max={self.max}"
         ]
-        shown = sorted(self.buckets)[:max_rows]
+        # Top max_rows buckets by count (ties to the lower bucket),
+        # displayed in key order so the mode is never hidden behind a
+        # long head of sparse buckets.
+        densest = sorted(
+            self.buckets, key=lambda b: (-self.buckets[b], b)
+        )[:max_rows]
+        shown = sorted(densest)
         peak = max(self.buckets[b] for b in shown)
         for bucket in shown:
             n = self.buckets[bucket]
@@ -140,6 +164,22 @@ class MetricsCollector:
 
     def detach(self) -> None:
         self.sim.commit_listener = self._previous
+
+    # ------------------------------------------------------------------
+    def histograms(self) -> List["Histogram"]:
+        return [self.queue_wait, self.residency,
+                self.exec_to_commit, self.load_latency]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for the structured exporters."""
+        return {
+            "histograms": {h.name: h.to_dict() for h in self.histograms()},
+            "commits_per_thread": {
+                str(tid): n
+                for tid, n in sorted(self.commits_per_thread.items())
+            },
+            "fairness": round(self.fairness(), 6),
+        }
 
     # ------------------------------------------------------------------
     def fairness(self) -> float:

@@ -75,6 +75,8 @@ class SimResult:
     out_of_registers_frac: float
     branch_mispredict_rate: float
     jump_mispredict_rate: float
+    fetch_active_frac: float = 0.0     # cycles with >= 1 instruction fetched
+    icache_miss_stall_events: int = 0  # fetch stalls started on I-cache misses
     icache: Optional[CacheStats] = None
     dcache: Optional[CacheStats] = None
     l2: Optional[CacheStats] = None
@@ -144,6 +146,8 @@ class Simulator:
         self.commit_listener = None
         #: Optional hook called with every squashed uop (tracing).
         self.squash_listener = None
+        #: Optional attached TelemetrySampler (interval time series).
+        self.telemetry = None
 
     # ==================================================================
     # Scheduling helpers used by the pipeline units.
@@ -332,6 +336,9 @@ class Simulator:
             )
         if cycle & 1023 == 0 and self.pending_exec:
             self._gc_pending_exec()
+        telemetry = self.telemetry
+        if telemetry is not None and cycle >= telemetry.next_sample_cycle:
+            telemetry.sample(cycle)
         self.cycle += 1
 
     # ------------------------------------------------------------------
@@ -435,6 +442,8 @@ class Simulator:
             out_of_registers_frac=s.out_of_registers_frac,
             branch_mispredict_rate=s.branch_mispredict_rate,
             jump_mispredict_rate=s.jump_mispredict_rate,
+            fetch_active_frac=s.fetch_active_frac,
+            icache_miss_stall_events=s.icache_miss_stall_events,
             icache=cache_stats(self.hierarchy.icache),
             dcache=cache_stats(self.hierarchy.dcache),
             l2=cache_stats(self.hierarchy.l2),

@@ -83,6 +83,11 @@ class Stats:
         return self.fetched_total / self.cycles if self.cycles else 0.0
 
     @property
+    def fetch_active_frac(self) -> float:
+        """Fraction of cycles on which at least one instruction was fetched."""
+        return self.fetch_cycles_active / self.cycles if self.cycles else 0.0
+
+    @property
     def avg_queue_population(self) -> float:
         return self.queue_population_sum / self.cycles if self.cycles else 0.0
 

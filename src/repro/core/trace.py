@@ -118,10 +118,13 @@ class PipelineTracer:
     """Collects TraceRecords from a live simulator."""
 
     def __init__(self, sim: Simulator, max_records: int = 2000,
-                 include_squashed: bool = True):
+                 include_squashed: bool = True, start_cycle: int = 0):
         self.sim = sim
         self.max_records = max_records
         self.include_squashed = include_squashed
+        #: Instructions committing/squashing before this cycle are not
+        #: recorded (so a late window doesn't exhaust ``max_records``).
+        self.start_cycle = start_cycle
         self.records: List[TraceRecord] = []
         self._previous_commit_listener = sim.commit_listener
         sim.commit_listener = self._on_commit
@@ -135,12 +138,18 @@ class PipelineTracer:
     def _on_commit(self, uop: Uop) -> None:
         if self._previous_commit_listener is not None:
             self._previous_commit_listener(uop)
+        if self.sim.cycle < self.start_cycle:
+            return
         if len(self.records) < self.max_records:
             self.records.append(
                 TraceRecord.from_uop(uop, commit_cycle=self.sim.cycle)
             )
 
     def _on_squash(self, uop: Uop) -> None:
+        if self._previous_squash_listener is not None:
+            self._previous_squash_listener(uop)
+        if self.sim.cycle < self.start_cycle:
+            return
         if len(self.records) < self.max_records:
             self.records.append(
                 TraceRecord.from_uop(uop, commit_cycle=-1, squashed=True)
@@ -149,7 +158,7 @@ class PipelineTracer:
     def detach(self) -> None:
         self.sim.commit_listener = self._previous_commit_listener
         if self.include_squashed:
-            self.sim.squash_listener = None
+            self.sim.squash_listener = self._previous_squash_listener
 
     # ------------------------------------------------------------------
     def window(self, start_cycle: int, end_cycle: int,

@@ -46,7 +46,8 @@ from repro.workloads.profiles import PROFILES
 #: inputs (timing fixes, stat definitions, workload generator changes).
 #: The package version is hashed into every key as well, so release
 #: bumps invalidate the cache even if this is forgotten.
-CACHE_SCHEMA_VERSION = 1
+#: v2: SimResult gained fetch_active_frac / icache_miss_stall_events.
+CACHE_SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------------------

@@ -1,20 +1,38 @@
 """Result export and text charts.
 
-``to_rows`` / ``write_csv`` / ``to_json`` serialise experiment data for
-external analysis; :func:`ascii_chart` renders figure lines as a text
-plot (the repository has no plotting dependencies by design).
+Two layers:
+
+* ``to_rows`` / ``write_csv`` / ``to_json`` flatten experiment data for
+  external analysis; :func:`ascii_chart` renders figure lines as a text
+  plot (the repository has no plotting dependencies by design).
+* Schema-versioned documents: :func:`run_document` serialises a single
+  run (full ``SimResult`` + optional telemetry time series + optional
+  timing histograms) and :func:`experiment_document` a whole
+  figure/table, each stamped with ``schema`` / ``schema_version`` so
+  downstream tooling can validate what it loads.  The matching loaders
+  (:func:`load_run_json`, :func:`load_experiment_json`) reject unknown
+  schemas and versions instead of silently misreading old artifacts.
 """
 
 from __future__ import annotations
 
 import csv
+import dataclasses
 import io
 import json
-from typing import Dict, List, Sequence, Union
+import os
+from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro.core.simulator import SimResult
 from repro.experiments.runner import ExperimentPoint
 
 FigureData = Dict[str, List[ExperimentPoint]]
+
+#: Version stamped into every exported document.  Bump on any change to
+#: the document layout or field meanings.
+SCHEMA_VERSION = 1
+RUN_SCHEMA = "repro.run"
+EXPERIMENT_SCHEMA = "repro.experiment"
 
 #: SimResult scalar attributes exported per point.
 EXPORTED_METRICS = (
@@ -27,6 +45,8 @@ EXPORTED_METRICS = (
     "fp_iq_full_frac",
     "avg_queue_population",
     "out_of_registers_frac",
+    "fetch_active_frac",
+    "icache_miss_stall_events",
 )
 
 
@@ -70,6 +90,129 @@ def csv_text(data: FigureData) -> str:
 
 def to_json(data: FigureData, indent: int = 2) -> str:
     return json.dumps(to_rows(data), indent=indent)
+
+
+# ----------------------------------------------------------------------
+# Schema-versioned documents.
+# ----------------------------------------------------------------------
+def as_figure_data(data: Any) -> FigureData:
+    """Normalise any experiment harness return shape to ``FigureData``.
+
+    The harnesses return ``{label: [points]}`` (figures 3-6, table 5),
+    ``{key: point}`` (tables 3-4, keyed by thread count or label), or a
+    bare point list (figure 7); exports treat them uniformly.
+    """
+    if isinstance(data, list):
+        grouped: FigureData = {}
+        for point in data:
+            grouped.setdefault(point.label, []).append(point)
+        return grouped
+    if isinstance(data, dict):
+        out: FigureData = {}
+        for key, value in data.items():
+            if isinstance(value, ExperimentPoint):
+                out.setdefault(value.label or str(key), []).append(value)
+            else:
+                out[str(key)] = list(value)
+        return out
+    raise TypeError(f"cannot normalise experiment data of type {type(data)!r}")
+
+
+def _validate(document: Any, schema: str) -> Dict[str, Any]:
+    if not isinstance(document, dict):
+        raise ValueError(f"{schema} document must be a JSON object")
+    if document.get("schema") != schema:
+        raise ValueError(
+            f"expected schema {schema!r}, got {document.get('schema')!r}"
+        )
+    if document.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported {schema} schema version "
+            f"{document.get('schema_version')!r} (expected {SCHEMA_VERSION})"
+        )
+    return document
+
+
+def sim_result_to_dict(result: SimResult) -> Dict[str, Any]:
+    """Every ``SimResult`` field (cache blocks nested as dicts)."""
+    return dataclasses.asdict(result)
+
+
+def run_document(
+    result: SimResult,
+    telemetry: Optional[Any] = None,
+    metrics: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """One run as a schema-versioned document.
+
+    ``telemetry`` is a :class:`~repro.core.telemetry.TelemetrySampler`
+    and ``metrics`` a :class:`~repro.core.histograms.MetricsCollector`;
+    both optional, both serialised through their ``to_rows``/``to_dict``.
+    """
+    document: Dict[str, Any] = {
+        "schema": RUN_SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "result": sim_result_to_dict(result),
+    }
+    if telemetry is not None:
+        document["telemetry"] = {
+            "interval": telemetry.interval,
+            "samples": telemetry.to_rows(),
+        }
+    if metrics is not None:
+        document["metrics"] = metrics.to_dict()
+    return document
+
+
+def write_run_json(
+    path: str,
+    result: SimResult,
+    telemetry: Optional[Any] = None,
+    metrics: Optional[Any] = None,
+) -> Dict[str, Any]:
+    document = run_document(result, telemetry=telemetry, metrics=metrics)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return document
+
+
+def load_run_json(path: str) -> Dict[str, Any]:
+    """Load and validate a :func:`write_run_json` artifact."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return _validate(json.load(handle), RUN_SCHEMA)
+
+
+def experiment_document(name: str, data: Any) -> Dict[str, Any]:
+    """A whole figure/table as a schema-versioned document."""
+    return {
+        "schema": EXPERIMENT_SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "experiment": name,
+        "rows": to_rows(as_figure_data(data)),
+    }
+
+
+def export_experiment(name: str, data: Any, directory: str) -> List[str]:
+    """Write ``<name>.json`` and ``<name>.csv`` under ``directory``.
+
+    Returns the written paths.
+    """
+    os.makedirs(directory, exist_ok=True)
+    figure_data = as_figure_data(data)
+    json_path = os.path.join(directory, f"{name}.json")
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(experiment_document(name, figure_data), handle, indent=2)
+        handle.write("\n")
+    csv_path = os.path.join(directory, f"{name}.csv")
+    write_csv(figure_data, csv_path)
+    return [json_path, csv_path]
+
+
+def load_experiment_json(path: str) -> Dict[str, Any]:
+    """Load and validate an :func:`export_experiment` JSON artifact."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return _validate(json.load(handle), EXPERIMENT_SCHEMA)
 
 
 def ascii_chart(

@@ -27,8 +27,19 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import os
+import sys
+import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+)
 
 from repro.core.config import SMTConfig
 from repro.core.simulator import SimResult, Simulator
@@ -93,24 +104,86 @@ def run_spec(spec: RunSpec) -> SimResult:
 
 
 # ----------------------------------------------------------------------
+# Batch progress reporting.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchProgress:
+    """Snapshot of one ``execute_runs`` batch, handed to the callback.
+
+    The callback fires once after the cache scan (so instant replays
+    still report) and once per simulated run as it completes; the final
+    snapshot always has ``completed == total``.
+    """
+
+    total: int        # run slots in the batch
+    completed: int    # slots resolved so far (cache hits + simulated)
+    cache_hits: int   # slots served from the persistent cache
+    elapsed: float    # seconds since the batch started
+
+    @property
+    def simulated(self) -> int:
+        return self.completed - self.cache_hits
+
+    def __str__(self) -> str:
+        return (
+            f"{self.completed}/{self.total} runs "
+            f"({self.cache_hits} cache hits, {self.elapsed:.1f}s)"
+        )
+
+
+ProgressCallback = Callable[[BatchProgress], None]
+
+
+def progress_printer(prefix: str = "",
+                     stream: Optional[TextIO] = None) -> ProgressCallback:
+    """A callback rendering progress to ``stream`` (default stderr).
+
+    On a terminal the line updates in place; otherwise each snapshot is
+    its own line (CI logs stay readable).
+    """
+    out = stream if stream is not None else sys.stderr
+    interactive = getattr(out, "isatty", lambda: False)()
+
+    def render(progress: BatchProgress) -> None:
+        line = f"{prefix}{progress}"
+        if interactive:
+            end = "\n" if progress.completed >= progress.total else ""
+            print(f"\r\x1b[2K{line}", end=end, file=out, flush=True)
+        else:
+            print(line, file=out, flush=True)
+
+    return render
+
+
+# ----------------------------------------------------------------------
 # Engine configuration.
 # ----------------------------------------------------------------------
 _configured_jobs: Optional[int] = None
 _configured_use_cache: Optional[bool] = None
+_configured_progress: Optional[ProgressCallback] = None
 
 _UNSET = object()
 
 
-def configure(jobs: Any = _UNSET, use_cache: Any = _UNSET) -> None:
-    """Set process-wide defaults (the CLI's ``--jobs`` / ``--no-cache``).
+def configure(jobs: Any = _UNSET, use_cache: Any = _UNSET,
+              progress: Any = _UNSET) -> None:
+    """Set process-wide defaults (the CLI's ``--jobs`` / ``--no-cache``
+    / ``--progress``).
 
-    Pass ``None`` to reset a knob to its environment-derived default.
+    Pass ``None`` to reset a knob to its environment-derived default
+    (for ``progress``: no reporting).
     """
-    global _configured_jobs, _configured_use_cache
+    global _configured_jobs, _configured_use_cache, _configured_progress
     if jobs is not _UNSET:
         _configured_jobs = jobs
     if use_cache is not _UNSET:
         _configured_use_cache = use_cache
+    if progress is not _UNSET:
+        _configured_progress = progress
+
+
+def default_progress() -> Optional[ProgressCallback]:
+    return _configured_progress
 
 
 def default_jobs() -> int:
@@ -148,6 +221,7 @@ def execute_runs(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[SimResult]:
     """Run every spec, returning results in spec order.
 
@@ -155,7 +229,12 @@ def execute_runs(
     batch are simulated once (runs are deterministic, so this is purely
     an optimisation — the Section 7 report alone repeats its baseline
     half a dozen times).  Misses are sharded across ``jobs`` worker
-    processes when ``jobs > 1``.
+    processes when ``jobs > 1`` and stored to the cache as they finish,
+    so an interrupted batch keeps its completed work.
+
+    ``progress`` (default: the :func:`configure` d callback, if any)
+    receives a :class:`BatchProgress` after the cache scan and after
+    each completed simulation.
     """
     if jobs is None:
         jobs = default_jobs()
@@ -163,6 +242,9 @@ def execute_runs(
         use_cache = default_use_cache()
     if cache is None and use_cache:
         cache = ResultCache()
+    if progress is None:
+        progress = default_progress()
+    started = time.perf_counter()
 
     results: List[Optional[SimResult]] = [None] * len(specs)
     keys = [spec.key() for spec in specs]
@@ -181,17 +263,40 @@ def execute_runs(
                 order.append(i)
             indices.append(i)
 
+    hits = len(specs) - sum(len(v) for v in pending.values())
+    completed = hits
+
+    def report() -> None:
+        if progress is not None:
+            progress(BatchProgress(
+                total=len(specs), completed=completed, cache_hits=hits,
+                elapsed=time.perf_counter() - started,
+            ))
+
+    report()
+
     miss_specs = [specs[i] for i in order]
     if miss_specs:
         if jobs > 1 and len(miss_specs) > 1:
-            with _pool(min(jobs, len(miss_specs))) as pool:
-                miss_results = pool.map(run_spec, miss_specs, chunksize=1)
+            pool_cm = _pool(min(jobs, len(miss_specs)))
+            with pool_cm as pool:
+                completions = pool.imap(run_spec, miss_specs, chunksize=1)
+                # Consumed inside the with-block: imap yields lazily.
+                for i, result in zip(order, completions):
+                    for j in pending[keys[i]]:
+                        results[j] = result
+                    if cache is not None:
+                        cache.put(keys[i], result)
+                    completed += len(pending[keys[i]])
+                    report()
         else:
-            miss_results = [run_spec(spec) for spec in miss_specs]
-        for i, result in zip(order, miss_results):
-            for j in pending[keys[i]]:
-                results[j] = result
-            if cache is not None:
-                cache.put(keys[i], result)
+            for i in order:
+                result = run_spec(specs[i])
+                for j in pending[keys[i]]:
+                    results[j] = result
+                if cache is not None:
+                    cache.put(keys[i], result)
+                completed += len(pending[keys[i]])
+                report()
 
     return results  # type: ignore[return-value]

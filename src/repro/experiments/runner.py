@@ -80,6 +80,7 @@ def run_configs(
     budget: Optional[RunBudget] = None,
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
+    progress: Optional[Callable] = None,
 ) -> List[ExperimentPoint]:
     """Run a batch of ``(label, config)`` pairs as one sharded workload.
 
@@ -94,7 +95,8 @@ def run_configs(
         for _, config in labeled_configs
         for rotation in range(budget.rotations)
     ]
-    results = execute_runs(specs, jobs=jobs, use_cache=use_cache)
+    results = execute_runs(specs, jobs=jobs, use_cache=use_cache,
+                           progress=progress)
     points = []
     for i, (label, config) in enumerate(labeled_configs):
         chunk = results[i * budget.rotations:(i + 1) * budget.rotations]

@@ -55,3 +55,30 @@ class TestDerivedMetrics:
     def test_avg_queue_population(self):
         s = Stats(cycles=10, queue_population_sum=300)
         assert s.avg_queue_population == 30.0
+
+    def test_fetch_active_frac(self):
+        s = Stats(cycles=200, fetch_cycles_active=150)
+        assert s.fetch_active_frac == 0.75
+        assert Stats().fetch_active_frac == 0.0
+
+
+class TestFetchCountersSurfaced:
+    """Regression: fetch_cycles_active / icache_miss_stall_events were
+    accumulated by the fetch unit but never reached SimResult."""
+
+    def test_nonzero_on_real_run(self):
+        from repro.core.config import scheme
+        from repro.core.simulator import Simulator
+        from repro.workloads.mixes import standard_mix
+
+        sim = Simulator(scheme("ICOUNT", 2, 8, n_threads=2),
+                        standard_mix(2, 0))
+        # No warmup at all: the cold I-cache guarantees miss stalls
+        # inside the measured window.
+        sim.measuring = True
+        for _ in range(3000):
+            sim.step()
+        result = sim.result()
+        assert result.fetch_active_frac > 0.0
+        assert result.icache_miss_stall_events > 0
+        assert result.fetch_active_frac <= 1.0

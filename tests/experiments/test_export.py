@@ -7,6 +7,7 @@ import tempfile
 import pytest
 
 from repro.core.simulator import SimResult, CacheStats
+from repro.experiments import export
 from repro.experiments.export import (
     ascii_chart,
     csv_text,
@@ -97,3 +98,112 @@ class TestAsciiChart:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             ascii_chart({})
+
+
+class TestRunDocument:
+    def _small_run(self):
+        from repro.core.config import scheme
+        from repro.core.histograms import MetricsCollector
+        from repro.core.simulator import Simulator
+        from repro.core.telemetry import TelemetrySampler
+        from repro.workloads.mixes import standard_mix
+
+        sim = Simulator(scheme("ICOUNT", 2, 8, n_threads=2),
+                        standard_mix(2, 0))
+        metrics = MetricsCollector(sim)
+        telemetry = TelemetrySampler(sim, interval=100)
+        sim.run(warmup_cycles=200, measure_cycles=600,
+                functional_warmup_instructions=2000)
+        telemetry.finish()
+        return sim.result(), telemetry, metrics
+
+    def test_round_trip(self, tmp_path):
+        result, telemetry, metrics = self._small_run()
+        path = os.path.join(tmp_path, "run.json")
+        written = export.write_run_json(
+            path, result, telemetry=telemetry, metrics=metrics)
+        loaded = export.load_run_json(path)
+        assert loaded == json.loads(json.dumps(written))
+        assert loaded["schema"] == export.RUN_SCHEMA
+        assert loaded["schema_version"] == export.SCHEMA_VERSION
+        assert loaded["result"]["ipc"] == pytest.approx(result.ipc)
+        assert loaded["result"]["fetch_active_frac"] > 0
+        assert loaded["result"]["icache_miss_stall_events"] > 0
+        assert loaded["telemetry"]["interval"] == 100
+        assert len(loaded["telemetry"]["samples"]) == len(telemetry.samples)
+        assert any("issue" in name
+                   for name in loaded["metrics"]["histograms"])
+
+    def test_telemetry_and_metrics_optional(self, tmp_path):
+        result, _, _ = self._small_run()
+        path = os.path.join(tmp_path, "bare.json")
+        export.write_run_json(path, result)
+        loaded = export.load_run_json(path)
+        assert "telemetry" not in loaded and "metrics" not in loaded
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "bad.json")
+        with open(path, "w") as f:
+            json.dump({"schema": "repro.experiment", "schema_version": 1}, f)
+        with pytest.raises(ValueError, match="expected schema"):
+            export.load_run_json(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "old.json")
+        with open(path, "w") as f:
+            json.dump({"schema": "repro.run", "schema_version": 99}, f)
+        with pytest.raises(ValueError, match="version"):
+            export.load_run_json(path)
+
+    def test_non_object_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "list.json")
+        with open(path, "w") as f:
+            json.dump([1, 2, 3], f)
+        with pytest.raises(ValueError, match="JSON object"):
+            export.load_run_json(path)
+
+
+class TestExperimentDocument:
+    def test_export_and_load(self, data, tmp_path):
+        paths = export.export_experiment("fig3", data, str(tmp_path))
+        assert paths == [os.path.join(tmp_path, "fig3.json"),
+                         os.path.join(tmp_path, "fig3.csv")]
+        loaded = export.load_experiment_json(paths[0])
+        assert loaded["schema"] == export.EXPERIMENT_SCHEMA
+        assert loaded["experiment"] == "fig3"
+        assert len(loaded["rows"]) == 4
+        assert {"fetch_active_frac", "icache_miss_stall_events"} <= set(
+            loaded["rows"][0])
+        with open(paths[1]) as f:
+            assert len(f.readlines()) == 5
+
+    def test_run_artifact_rejected_by_experiment_loader(self, tmp_path):
+        path = os.path.join(tmp_path, "run.json")
+        with open(path, "w") as f:
+            json.dump({"schema": "repro.run", "schema_version": 1}, f)
+        with pytest.raises(ValueError, match="expected schema"):
+            export.load_experiment_json(path)
+
+
+class TestAsFigureData:
+    def test_dict_of_lists_passes_through(self, data):
+        normalised = export.as_figure_data(data)
+        assert normalised == data
+
+    def test_bare_list_grouped_by_label(self):
+        points = [fake_point("A", 1, 1.0), fake_point("A", 2, 2.0),
+                  fake_point("B", 1, 1.5)]
+        normalised = export.as_figure_data(points)
+        assert sorted(normalised) == ["A", "B"]
+        assert len(normalised["A"]) == 2
+
+    def test_dict_of_points_keyed_by_label(self):
+        table = {1: fake_point("ICOUNT.2.8", 1, 1.0),
+                 8: fake_point("ICOUNT.2.8", 8, 5.0)}
+        normalised = export.as_figure_data(table)
+        assert list(normalised) == ["ICOUNT.2.8"]
+        assert len(normalised["ICOUNT.2.8"]) == 2
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(TypeError):
+            export.as_figure_data(42)

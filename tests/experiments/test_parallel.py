@@ -121,3 +121,58 @@ class TestKnobs:
         parallel.configure(use_cache=None)
         monkeypatch.setenv("REPRO_NO_CACHE", "1")
         assert parallel.default_use_cache() is False
+
+
+class TestProgress:
+    def test_callback_sees_monotonic_completion(self, no_cache_env):
+        specs = _specs()
+        snapshots = []
+        execute_runs(specs, jobs=1, use_cache=False,
+                     progress=snapshots.append)
+        # One snapshot after the (empty) cache scan, one per run.
+        assert len(snapshots) == len(specs) + 1
+        assert snapshots[0].completed == 0
+        assert [s.completed for s in snapshots] == list(range(len(specs) + 1))
+        assert all(s.total == len(specs) for s in snapshots)
+        assert snapshots[-1].completed == snapshots[-1].total
+        elapsed = [s.elapsed for s in snapshots]
+        assert elapsed == sorted(elapsed)
+
+    def test_callback_reports_cache_hits_on_replay(self, no_cache_env,
+                                                   tmp_path):
+        specs = _specs()
+        cache = ResultCache(str(tmp_path))
+        execute_runs(specs, jobs=1, cache=cache)
+        snapshots = []
+        execute_runs(specs, jobs=1, cache=cache, progress=snapshots.append)
+        # Fully cached batch: a single snapshot, everything a hit.
+        assert len(snapshots) == 1
+        assert snapshots[0].cache_hits == len(specs)
+        assert snapshots[0].completed == len(specs)
+        assert snapshots[0].simulated == 0
+
+    def test_callback_fires_from_pooled_path(self, no_cache_env):
+        specs = _specs()
+        snapshots = []
+        execute_runs(specs, jobs=2, use_cache=False,
+                     progress=snapshots.append)
+        assert snapshots[-1].completed == len(specs)
+
+    def test_configured_default_progress(self, no_cache_env):
+        snapshots = []
+        parallel.configure(progress=snapshots.append)
+        try:
+            execute_runs(_specs()[:1], jobs=1, use_cache=False)
+        finally:
+            parallel.configure(progress=None)
+        assert snapshots and snapshots[-1].completed == 1
+
+    def test_progress_str_and_printer(self, no_cache_env):
+        progress = parallel.BatchProgress(total=6, completed=4,
+                                          cache_hits=3, elapsed=1.25)
+        assert str(progress) == "4/6 runs (3 cache hits, 1.2s)"
+        assert progress.simulated == 1
+        import io
+        buf = io.StringIO()
+        parallel.progress_printer(prefix="fig3: ", stream=buf)(progress)
+        assert buf.getvalue() == "fig3: 4/6 runs (3 cache hits, 1.2s)\n"

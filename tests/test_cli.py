@@ -72,3 +72,89 @@ class TestCommands:
         )
         assert code == 0
         assert "superscalar pipeline" in out
+
+
+class TestObservabilityFlags:
+    def test_run_metrics_prints_histograms_and_telemetry(self):
+        code, out = run_cli(
+            "run", "--threads", "2", "--cycles", "1000", "--warmup", "200",
+            "--metrics", "--telemetry-interval", "100",
+        )
+        assert code == 0
+        assert "fetch active" in out
+        assert "telemetry (100-cycle intervals):" in out
+        assert "IPC" in out and "icount" in out
+
+    def test_run_metrics_json_writes_valid_document(self, tmp_path):
+        from repro.experiments import export
+
+        path = str(tmp_path / "run.json")
+        code, out = run_cli(
+            "run", "--threads", "2", "--cycles", "1000", "--warmup", "200",
+            "--metrics-json", path,
+        )
+        assert code == 0
+        assert f"run report    : {path}" in out
+        document = export.load_run_json(path)
+        assert document["schema_version"] == export.SCHEMA_VERSION
+        assert document["result"]["n_threads"] == 2
+        assert document["telemetry"]["samples"]
+        assert document["metrics"]["histograms"]
+
+    def test_run_trace_prints_pipeview(self):
+        code, out = run_cli(
+            "run", "--threads", "1", "--cycles", "600", "--warmup", "100",
+            "--trace", "32",
+        )
+        assert code == 0
+        assert "pipeline trace, cycles 100-132:" in out
+        # Pipeview stage letters appear in the rendered window.
+        assert "F" in out.split("pipeline trace")[1]
+
+    def test_experiment_export_writes_artifacts(self, tmp_path, monkeypatch):
+        import repro.cli as cli
+        from repro.experiments import export
+        from repro.experiments.runner import ExperimentPoint
+        from tests.experiments.test_export import fake_point
+
+        fake = cli.Experiment(
+            compute=lambda budget: {"ICOUNT.2.8": [
+                fake_point("ICOUNT.2.8", 1, 2.0),
+                fake_point("ICOUNT.2.8", 4, 4.0),
+            ]},
+            render=lambda data: print("rendered", len(data)),
+        )
+        monkeypatch.setitem(cli.EXPERIMENTS, "fig3", fake)
+        out_dir = str(tmp_path / "artifacts")
+        code, out = run_cli("experiment", "fig3", "--fast",
+                            "--export", out_dir)
+        assert code == 0
+        assert "rendered 1" in out
+        document = export.load_experiment_json(f"{out_dir}/fig3.json")
+        assert document["experiment"] == "fig3"
+        assert len(document["rows"]) == 2
+        with open(f"{out_dir}/fig3.csv") as f:
+            assert len(f.readlines()) == 3
+
+    def test_experiment_does_not_freeze_env_defaults(self, monkeypatch):
+        # Regression: cmd_experiment used to resolve default_jobs() /
+        # default_use_cache() eagerly, freezing the environment knobs
+        # for the rest of the process.
+        import repro.cli as cli
+        from repro.experiments import parallel
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "fig3", cli.Experiment(
+            compute=lambda budget: [],
+            render=lambda data: None,
+            exportable=False,
+        ))
+        parallel.configure(jobs=None, use_cache=None, progress=None)
+        try:
+            code, _ = run_cli("experiment", "fig3", "--fast")
+            assert code == 0
+            monkeypatch.setenv("REPRO_JOBS", "7")
+            monkeypatch.setenv("REPRO_NO_CACHE", "1")
+            assert parallel.default_jobs() == 7
+            assert parallel.default_use_cache() is False
+        finally:
+            parallel.configure(jobs=None, use_cache=None, progress=None)

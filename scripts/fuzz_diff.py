@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Differential fuzzing campaign for CI and local soak runs.
+
+Generates random (machine config x workload mix x seed) simulations,
+runs each with the pipeline invariant sanitizer attached and every
+committed instruction checked against the per-thread architectural
+oracle, shrinks any failure to a minimal reproducer under
+``tests/corpus/``, and writes a machine-readable campaign summary.
+
+Exit status is non-zero if any seed diverged, violated an invariant,
+crashed, or stalled.
+
+Run:  PYTHONPATH=src python scripts/fuzz_diff.py [--seeds N]
+          [--max-cycles N] [--jobs N] [--summary-json PATH]
+"""
+
+import argparse
+import json
+import multiprocessing
+import sys
+
+from repro.experiments import export
+from repro.verify import fuzz
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=25)
+    parser.add_argument("--start-seed", type=int, default=0)
+    parser.add_argument("--max-cycles", type=int, default=3000)
+    parser.add_argument("--check-interval", type=int, default=1)
+    parser.add_argument("--jobs", type=int,
+                        default=min(4, multiprocessing.cpu_count()))
+    parser.add_argument("--corpus", default="tests/corpus")
+    parser.add_argument("--no-shrink", action="store_true")
+    parser.add_argument("--summary-json", default=None,
+                        help="write a JSON campaign summary")
+    args = parser.parse_args()
+
+    summary = fuzz.fuzz_run(
+        seeds=args.seeds,
+        start_seed=args.start_seed,
+        max_cycles=args.max_cycles,
+        check_interval=args.check_interval,
+        jobs=args.jobs,
+        shrink=not args.no_shrink,
+        corpus_dir=args.corpus,
+        log=lambda message: print(message, file=sys.stderr, flush=True),
+    )
+    print(summary.describe())
+
+    if args.summary_json:
+        document = {
+            "seeds": summary.seeds,
+            "start_seed": args.start_seed,
+            "max_cycles": args.max_cycles,
+            "ok": summary.ok,
+            "clean": summary.clean,
+            "total_commits": summary.total_commits,
+            "total_cycles": summary.total_cycles,
+            "elapsed_s": round(summary.elapsed, 2),
+            "failures": [
+                {
+                    "seed": failure.seed,
+                    "status": failure.outcome.status,
+                    "case": failure.case.to_dict(),
+                    "corpus_path": failure.corpus_path,
+                    "violation": failure.outcome.violation and
+                    export.violation_document(
+                        failure.outcome.violation,
+                        case=failure.case.to_dict(),
+                        context=f"fuzz seed {failure.seed}",
+                    ),
+                }
+                for failure in summary.failures
+            ],
+        }
+        with open(args.summary_json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"summary: {args.summary_json}")
+
+    return 0 if summary.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,9 +5,12 @@ Usage::
     python -m repro run --threads 8 --policy ICOUNT --num1 2 --num2 8
     python -m repro run --threads 1 --superscalar
     python -m repro run --threads 4 --metrics --metrics-json run.json --trace 48
+    python -m repro run --threads 4 --check-invariants
     python -m repro experiment fig3 [--fast | --full] [--jobs N] [--no-cache]
     python -m repro experiment fig5 --export results/ --progress
     python -m repro experiment all
+    python -m repro fuzz --seeds 25 --max-cycles 3000 [--jobs N]
+    python -m repro fuzz --replay tests/corpus/case-0123abcd4567.json
     python -m repro workload espresso --instructions 20000
     python -m repro list
 
@@ -141,6 +144,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--telemetry-interval", type=int, default=200,
                      metavar="CYCLES",
                      help="telemetry sampling interval (default 200)")
+    run.add_argument("--check-invariants", action="store_true",
+                     help="run with the pipeline invariant sanitizer "
+                          "attached (abort on the first violation)")
 
     exp = sub.add_parser("experiment",
                          help="regenerate a table/figure of the paper")
@@ -160,6 +166,37 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--progress", action="store_true",
                      help="report batch progress (runs / cache hits / "
                           "elapsed) on stderr")
+    exp.add_argument("--check-invariants", action="store_true",
+                     help="attach the pipeline sanitizer to every "
+                          "simulation in the batch")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz the pipeline against the oracle",
+    )
+    fuzz.add_argument("--seeds", type=int, default=25,
+                      help="number of consecutive fuzz seeds (default 25)")
+    fuzz.add_argument("--start-seed", type=int, default=0,
+                      help="first seed (default 0)")
+    fuzz.add_argument("--max-cycles", type=int, default=3000,
+                      help="cycles simulated per case (default 3000)")
+    fuzz.add_argument("--check-interval", type=int, default=1,
+                      help="cycles between full structural sweeps "
+                           "(default 1 = every cycle)")
+    fuzz.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes (default 1)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="keep failing cases unshrunk")
+    fuzz.add_argument("--corpus", metavar="DIR", default="tests/corpus",
+                      help="directory for minimal reproducers "
+                           "(default tests/corpus)")
+    fuzz.add_argument("--report", metavar="PATH", default=None,
+                      help="write the first violation as a "
+                           "schema-versioned JSON report")
+    fuzz.add_argument("--replay", metavar="CASE.json", default=None,
+                      help="replay one corpus case instead of fuzzing")
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="suppress per-seed progress lines")
 
     wl = sub.add_parser("workload",
                         help="inspect a synthetic benchmark program")
@@ -197,8 +234,22 @@ def cmd_run(args) -> int:
         PipelineTracer(sim, max_records=4096, start_cycle=args.warmup)
         if args.trace else None
     )
+    sanitizer = None
+    if args.check_invariants:
+        from repro.verify.sanitizer import PipelineSanitizer
+        sanitizer = PipelineSanitizer(sim)
 
-    result = sim.run(warmup_cycles=args.warmup, measure_cycles=args.cycles)
+    try:
+        result = sim.run(warmup_cycles=args.warmup,
+                         measure_cycles=args.cycles)
+    except Exception as exc:
+        from repro.verify.sanitizer import InvariantViolation
+        if not isinstance(exc, InvariantViolation):
+            raise
+        print(f"INVARIANT VIOLATION: {exc}", file=sys.stderr)
+        for key, value in sorted((exc.details or {}).items()):
+            print(f"  {key}: {value}", file=sys.stderr)
+        return 1
     if telemetry is not None:
         telemetry.finish()
 
@@ -226,6 +277,10 @@ def cmd_run(args) -> int:
         sorted(result.committed_per_thread.items())
     )
     print(f"per-thread    : {per_thread}")
+    if sanitizer is not None:
+        print(f"invariants    : clean ({sanitizer.cycles_checked} cycles, "
+              f"{sanitizer.commits_checked} commits checked against the "
+              f"oracle)")
 
     if tracer is not None:
         print()
@@ -264,6 +319,7 @@ def cmd_experiment(args) -> int:
         jobs=args.jobs,
         use_cache=False if args.no_cache else None,
         progress=parallel.progress_printer() if args.progress else None,
+        check_invariants=True if args.check_invariants else None,
     )
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:
@@ -278,6 +334,55 @@ def cmd_experiment(args) -> int:
                 print(f"({name} prints a report; no tabular export)")
         print()
     return 0
+
+
+def cmd_fuzz(args) -> int:
+    from repro.verify import fuzz
+
+    if args.replay:
+        case, document = fuzz.load_corpus_case(args.replay)
+        note = document.get("note") or "(no note)"
+        print(f"replaying {args.replay}")
+        print(f"  case : {case.to_dict()}")
+        print(f"  note : {note}")
+        outcome = fuzz.run_case(case)
+        print(f"  -> {outcome.describe()}")
+        if not outcome.ok and args.report and outcome.violation:
+            export.write_violation_json(
+                args.report, outcome.violation, case=case.to_dict(),
+                context=f"corpus replay of {args.replay}",
+            )
+            print(f"  violation report: {args.report}")
+        return 0 if outcome.ok else 1
+
+    log = None if args.quiet else (
+        lambda message: print(message, file=sys.stderr, flush=True)
+    )
+    summary = fuzz.fuzz_run(
+        seeds=args.seeds,
+        start_seed=args.start_seed,
+        max_cycles=args.max_cycles,
+        check_interval=args.check_interval,
+        jobs=args.jobs,
+        shrink=not args.no_shrink,
+        corpus_dir=args.corpus,
+        log=log,
+    )
+    print(summary.describe())
+    for failure in summary.failures:
+        print(f"  seed {failure.seed}: {failure.outcome.describe()}")
+        if failure.corpus_path:
+            print(f"    reproducer: {failure.corpus_path}")
+    if args.report and summary.failures:
+        first = summary.failures[0]
+        if first.outcome.violation:
+            export.write_violation_json(
+                args.report, first.outcome.violation,
+                case=first.case.to_dict(),
+                context=f"fuzz seed {first.seed}",
+            )
+            print(f"violation report: {args.report}")
+    return 0 if summary.clean else 1
 
 
 def cmd_workload(args) -> int:
@@ -333,6 +438,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "run": cmd_run,
         "experiment": cmd_experiment,
+        "fuzz": cmd_fuzz,
         "workload": cmd_workload,
         "list": cmd_list,
     }

@@ -143,12 +143,9 @@ class MetricsCollector:
         self.exec_to_commit = Histogram("completion wait (done->commit)", 1)
         self.load_latency = Histogram("load exec->data latency", 2)
         self.commits_per_thread: Dict[int, int] = {}
-        self._previous = sim.commit_listener
-        sim.commit_listener = self._on_commit
+        sim.add_commit_listener(self._on_commit)
 
     def _on_commit(self, uop: Uop) -> None:
-        if self._previous is not None:
-            self._previous(uop)
         cycle = self.sim.cycle
         if uop.issue_c >= 0 and uop.dispatch_c >= 0:
             self.queue_wait.add(uop.issue_c - uop.dispatch_c)
@@ -163,7 +160,7 @@ class MetricsCollector:
         )
 
     def detach(self) -> None:
-        self.sim.commit_listener = self._previous
+        self.sim.remove_commit_listener(self._on_commit)
 
     # ------------------------------------------------------------------
     def histograms(self) -> List["Histogram"]:

@@ -55,6 +55,58 @@ class CacheStats:
     mpki: float
 
 
+class ListenerChain:
+    """Fan-out dispatcher for commit/squash listeners.
+
+    Several observers (tracer, telemetry, metrics, sanitizer) may need
+    the same event stream; a chain calls each registered listener in
+    attach order.  Managed through ``Simulator.add_commit_listener`` /
+    ``remove_commit_listener`` (and the squash equivalents), which keep
+    the single-listener fast path — a bare callable — until a second
+    observer actually attaches.
+    """
+
+    __slots__ = ("listeners",)
+
+    def __init__(self, listeners):
+        self.listeners = list(listeners)
+
+    def __call__(self, uop) -> None:
+        for listener in self.listeners:
+            listener(uop)
+
+
+def _chain_add(current, listener):
+    """Compose ``listener`` onto ``current`` (None, callable, or chain)."""
+    if current is None:
+        return listener
+    if isinstance(current, ListenerChain):
+        current.listeners.append(listener)
+        return current
+    return ListenerChain([current, listener])
+
+
+def _chain_remove(current, listener):
+    """Detach ``listener``, collapsing one-element chains back to the
+    bare callable (so round trips preserve listener identity).
+
+    Matches by equality, not identity: observers register bound methods,
+    and each ``obj.method`` access creates a fresh (but ``==``) object.
+    """
+    if current is listener or current == listener:
+        return None
+    if isinstance(current, ListenerChain):
+        try:
+            current.listeners.remove(listener)
+        except ValueError:
+            return current
+        if len(current.listeners) == 1:
+            return current.listeners[0]
+        if not current.listeners:
+            return None
+    return current
+
+
 @dataclass
 class SimResult:
     """Everything a run produces, in the units the paper reports."""
@@ -142,12 +194,34 @@ class Simulator:
         self.cycle = 0
         self.measuring = False
         #: Optional hook called with every committing uop (tracing,
-        #: verification against the architectural stream).
+        #: verification against the architectural stream).  Prefer
+        #: :meth:`add_commit_listener` so observers compose.
         self.commit_listener = None
         #: Optional hook called with every squashed uop (tracing).
         self.squash_listener = None
         #: Optional attached TelemetrySampler (interval time series).
         self.telemetry = None
+        #: Optional attached PipelineSanitizer (per-cycle invariants).
+        self.sanitizer = None
+
+    # ==================================================================
+    # Observer registration.  Several observers can watch the same run:
+    # listeners registered here are chained (fan-out in attach order)
+    # instead of overwriting each other.  Direct assignment to
+    # ``commit_listener`` / ``squash_listener`` still works and replaces
+    # the whole chain (single-observer code and tests rely on it).
+    # ==================================================================
+    def add_commit_listener(self, listener) -> None:
+        self.commit_listener = _chain_add(self.commit_listener, listener)
+
+    def remove_commit_listener(self, listener) -> None:
+        self.commit_listener = _chain_remove(self.commit_listener, listener)
+
+    def add_squash_listener(self, listener) -> None:
+        self.squash_listener = _chain_add(self.squash_listener, listener)
+
+    def remove_squash_listener(self, listener) -> None:
+        self.squash_listener = _chain_remove(self.squash_listener, listener)
 
     # ==================================================================
     # Scheduling helpers used by the pipeline units.
@@ -339,6 +413,9 @@ class Simulator:
         telemetry = self.telemetry
         if telemetry is not None and cycle >= telemetry.next_sample_cycle:
             telemetry.sample(cycle)
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_cycle(cycle)
         self.cycle += 1
 
     # ------------------------------------------------------------------

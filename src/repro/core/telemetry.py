@@ -101,9 +101,10 @@ class TelemetrySampler:
     """Collects :class:`TelemetrySample` s from a live simulator.
 
     The sampler installs itself as ``sim.telemetry`` (the cycle-edge
-    hook) and chains onto ``sim.commit_listener`` (for exact commit
-    counts); :meth:`detach` restores both.  Attach/detach follow the
-    same LIFO discipline as the tracer and metrics collector.
+    hook) and registers a commit listener (for exact commit counts);
+    :meth:`detach` removes both.  Listener registration composes with
+    the tracer, metrics collector, and sanitizer, in any attach/detach
+    order.
     """
 
     def __init__(self, sim: Simulator, interval: int = 100,
@@ -128,8 +129,7 @@ class TelemetrySampler:
         sim = self.sim
         if sim.telemetry is not None:
             raise RuntimeError("simulator already has a telemetry sampler")
-        self._previous_commit_listener = sim.commit_listener
-        sim.commit_listener = self._on_commit
+        sim.add_commit_listener(self._on_commit)
         sim.telemetry = self
         self._attached = True
         self._open_interval(sim.cycle)
@@ -141,7 +141,7 @@ class TelemetrySampler:
         self.finish()
         sim = self.sim
         sim.telemetry = None
-        sim.commit_listener = self._previous_commit_listener
+        sim.remove_commit_listener(self._on_commit)
         self._attached = False
         self.next_sample_cycle = None
 
@@ -207,8 +207,6 @@ class TelemetrySampler:
         self._close_interval(cycle)
 
     def _on_commit(self, uop: Uop) -> None:
-        if self._previous_commit_listener is not None:
-            self._previous_commit_listener(uop)
         self._commits += 1
         self._commits_per_thread[uop.tid] += 1
 

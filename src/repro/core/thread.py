@@ -101,6 +101,13 @@ class ThreadContext:
             self._oracle_buf.append(self.emulator.step())
         return self._oracle_buf.popleft()
 
+    def oracle_lookahead(self) -> int:
+        """Records produced by the emulator but not yet consumed by
+        fetch.  ``emulator.instret - oracle_lookahead()`` is therefore
+        the number of correct-path instructions fetch has consumed —
+        the position verification oracles must replay to."""
+        return len(self._oracle_buf)
+
     # ------------------------------------------------------------------
     def misscount(self, cycle: int) -> int:
         """Outstanding D-cache misses (pruning completed ones)."""

@@ -126,18 +126,12 @@ class PipelineTracer:
         #: recorded (so a late window doesn't exhaust ``max_records``).
         self.start_cycle = start_cycle
         self.records: List[TraceRecord] = []
-        self._previous_commit_listener = sim.commit_listener
-        sim.commit_listener = self._on_commit
+        sim.add_commit_listener(self._on_commit)
         if include_squashed:
-            self._previous_squash_listener = getattr(
-                sim, "squash_listener", None
-            )
-            sim.squash_listener = self._on_squash
+            sim.add_squash_listener(self._on_squash)
 
     # ------------------------------------------------------------------
     def _on_commit(self, uop: Uop) -> None:
-        if self._previous_commit_listener is not None:
-            self._previous_commit_listener(uop)
         if self.sim.cycle < self.start_cycle:
             return
         if len(self.records) < self.max_records:
@@ -146,8 +140,6 @@ class PipelineTracer:
             )
 
     def _on_squash(self, uop: Uop) -> None:
-        if self._previous_squash_listener is not None:
-            self._previous_squash_listener(uop)
         if self.sim.cycle < self.start_cycle:
             return
         if len(self.records) < self.max_records:
@@ -156,9 +148,9 @@ class PipelineTracer:
             )
 
     def detach(self) -> None:
-        self.sim.commit_listener = self._previous_commit_listener
+        self.sim.remove_commit_listener(self._on_commit)
         if self.include_squashed:
-            self.sim.squash_listener = self._previous_squash_listener
+            self.sim.remove_squash_listener(self._on_squash)
 
     # ------------------------------------------------------------------
     def window(self, start_cycle: int, end_cycle: int,

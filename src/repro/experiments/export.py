@@ -33,6 +33,7 @@ FigureData = Dict[str, List[ExperimentPoint]]
 SCHEMA_VERSION = 1
 RUN_SCHEMA = "repro.run"
 EXPERIMENT_SCHEMA = "repro.experiment"
+VIOLATION_SCHEMA = "repro.violation"
 
 #: SimResult scalar attributes exported per point.
 EXPORTED_METRICS = (
@@ -181,6 +182,49 @@ def load_run_json(path: str) -> Dict[str, Any]:
     """Load and validate a :func:`write_run_json` artifact."""
     with open(path, "r", encoding="utf-8") as handle:
         return _validate(json.load(handle), RUN_SCHEMA)
+
+
+def violation_document(
+    violation: Any,
+    case: Optional[Dict[str, Any]] = None,
+    context: str = "",
+) -> Dict[str, Any]:
+    """An invariant violation as a schema-versioned report.
+
+    ``violation`` is an
+    :class:`~repro.verify.sanitizer.InvariantViolation` (or its
+    ``to_dict()`` form); ``case`` optionally embeds the fuzz case or
+    run spec that produced it, ``context`` a free-form provenance note
+    (e.g. ``"fuzz seed 17"``).
+    """
+    payload = violation if isinstance(violation, dict) \
+        else violation.to_dict()
+    return {
+        "schema": VIOLATION_SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "violation": payload,
+        "case": case,
+        "context": context,
+    }
+
+
+def write_violation_json(
+    path: str,
+    violation: Any,
+    case: Optional[Dict[str, Any]] = None,
+    context: str = "",
+) -> Dict[str, Any]:
+    document = violation_document(violation, case=case, context=context)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return document
+
+
+def load_violation_json(path: str) -> Dict[str, Any]:
+    """Load and validate a :func:`write_violation_json` artifact."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return _validate(json.load(handle), VIOLATION_SCHEMA)
 
 
 def experiment_document(name: str, data: Any) -> Dict[str, Any]:

@@ -67,12 +67,19 @@ class RunSpec:
     seed: int = 0
     #: Out-of-config override used by the MSHR sensitivity sweep.
     dcache_mshrs: Optional[int] = None
+    #: Run with the pipeline invariant sanitizer attached.  The
+    #: sanitizer is purely observational, but a checked run earns a
+    #: distinct cache identity: a cached unchecked result says nothing
+    #: about whether the run *would* pass the checks.
+    check_invariants: bool = False
 
     def key(self) -> str:
         """The run's content hash (its identity in the result cache)."""
         extras = {}
         if self.dcache_mshrs is not None:
             extras["dcache_mshrs"] = self.dcache_mshrs
+        if self.check_invariants:
+            extras["check_invariants"] = True
         return result_key(
             self.config, self.rotation, self.budget,
             seed=self.seed, extras=extras,
@@ -94,9 +101,19 @@ def build_simulator(spec: RunSpec) -> Simulator:
 
 
 def run_spec(spec: RunSpec) -> SimResult:
-    """Execute one run start to finish (the pool worker function)."""
+    """Execute one run start to finish (the pool worker function).
+
+    With ``spec.check_invariants`` set, the pipeline sanitizer rides
+    along and raises :class:`~repro.verify.sanitizer.InvariantViolation`
+    (picklable, so it propagates cleanly out of pool workers) on the
+    first breach.
+    """
     budget = spec.budget
-    return build_simulator(spec).run(
+    sim = build_simulator(spec)
+    if spec.check_invariants:
+        from repro.verify.sanitizer import PipelineSanitizer
+        PipelineSanitizer(sim)
+    return sim.run(
         warmup_cycles=budget.warmup_cycles,
         measure_cycles=budget.measure_cycles,
         functional_warmup_instructions=budget.functional_warmup_instructions,
@@ -161,25 +178,30 @@ def progress_printer(prefix: str = "",
 _configured_jobs: Optional[int] = None
 _configured_use_cache: Optional[bool] = None
 _configured_progress: Optional[ProgressCallback] = None
+_configured_check_invariants: Optional[bool] = None
 
 _UNSET = object()
 
 
 def configure(jobs: Any = _UNSET, use_cache: Any = _UNSET,
-              progress: Any = _UNSET) -> None:
+              progress: Any = _UNSET,
+              check_invariants: Any = _UNSET) -> None:
     """Set process-wide defaults (the CLI's ``--jobs`` / ``--no-cache``
-    / ``--progress``).
+    / ``--progress`` / ``--check-invariants``).
 
     Pass ``None`` to reset a knob to its environment-derived default
     (for ``progress``: no reporting).
     """
     global _configured_jobs, _configured_use_cache, _configured_progress
+    global _configured_check_invariants
     if jobs is not _UNSET:
         _configured_jobs = jobs
     if use_cache is not _UNSET:
         _configured_use_cache = use_cache
     if progress is not _UNSET:
         _configured_progress = progress
+    if check_invariants is not _UNSET:
+        _configured_check_invariants = check_invariants
 
 
 def default_progress() -> Optional[ProgressCallback]:
@@ -202,6 +224,17 @@ def default_use_cache() -> bool:
     if _configured_use_cache is not None:
         return _configured_use_cache
     return cache_enabled_by_default()
+
+
+def default_check_invariants() -> bool:
+    """Whether new :class:`RunSpec` s should attach the sanitizer.
+
+    Resolved at spec-construction time (not inside the worker) so the
+    knob is reflected in each spec's cache key.
+    """
+    if _configured_check_invariants is not None:
+        return _configured_check_invariants
+    return bool(os.environ.get("REPRO_CHECK_INVARIANTS"))
 
 
 def _pool(processes: int):

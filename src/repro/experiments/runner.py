@@ -22,7 +22,11 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.config import SMTConfig
 from repro.core.simulator import SimResult
-from repro.experiments.parallel import RunSpec, execute_runs
+from repro.experiments.parallel import (
+    RunSpec,
+    default_check_invariants,
+    execute_runs,
+)
 
 
 @dataclass(frozen=True)
@@ -81,6 +85,7 @@ def run_configs(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     progress: Optional[Callable] = None,
+    check_invariants: Optional[bool] = None,
 ) -> List[ExperimentPoint]:
     """Run a batch of ``(label, config)`` pairs as one sharded workload.
 
@@ -88,10 +93,17 @@ def run_configs(
     figure parallelises across the pool instead of one data point at a
     time.  Points come back in input order, each averaging its rotations
     in rotation order (exactly as the serial path always has).
+
+    ``check_invariants`` (default: the engine-wide knob set by the
+    CLI's ``--check-invariants`` or ``REPRO_CHECK_INVARIANTS``) runs
+    every simulation with the pipeline sanitizer attached.
     """
     budget = budget or RunBudget.from_environment()
+    if check_invariants is None:
+        check_invariants = default_check_invariants()
     specs = [
-        RunSpec(config=config, rotation=rotation, budget=budget)
+        RunSpec(config=config, rotation=rotation, budget=budget,
+                check_invariants=check_invariants)
         for _, config in labeled_configs
         for rotation in range(budget.rotations)
     ]

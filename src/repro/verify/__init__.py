@@ -1,0 +1,38 @@
+"""Correctness tooling: runtime invariant sanitizing and differential
+fuzzing of the timing pipeline against the architectural oracle.
+
+* :class:`~repro.verify.sanitizer.PipelineSanitizer` attaches to a live
+  :class:`~repro.core.simulator.Simulator` and checks structural
+  invariants every cycle, raising a structured
+  :class:`~repro.verify.sanitizer.InvariantViolation` on the first
+  breach.
+* :mod:`repro.verify.fuzz` generates random (config x workload x seed)
+  simulations, runs them with the sanitizer attached in lockstep with
+  per-thread emulator oracles, shrinks failures to minimal reproducers,
+  and maintains the ``tests/corpus/`` golden-regression directory.
+
+See ``docs/testing.md`` for the invariant catalogue and workflow.
+"""
+
+from repro.verify.sanitizer import InvariantViolation, PipelineSanitizer
+from repro.verify.fuzz import (
+    FuzzCase,
+    FuzzOutcome,
+    generate_case,
+    load_corpus_case,
+    run_case,
+    save_corpus_case,
+    shrink_case,
+)
+
+__all__ = [
+    "InvariantViolation",
+    "PipelineSanitizer",
+    "FuzzCase",
+    "FuzzOutcome",
+    "generate_case",
+    "load_corpus_case",
+    "run_case",
+    "save_corpus_case",
+    "shrink_case",
+]

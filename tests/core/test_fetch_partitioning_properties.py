@@ -1,0 +1,87 @@
+"""Fetch-partitioning properties (the paper's ``alg.num1.num2``
+schemes): over randomized runs, no cycle may fetch from more than
+``num1`` threads, take more than ``num2`` instructions from any one
+thread, or exceed the fetch width in total — and fetch blocks from
+different threads must never interleave in the fetch buffer."""
+
+import pytest
+
+from repro.core.config import scheme
+from repro.core.simulator import Simulator
+from repro.workloads.mixes import standard_mix
+
+SCHEMES = [
+    ("RR", 1, 8),
+    ("RR", 2, 4),
+    ("RR", 4, 2),
+    ("RR", 2, 8),
+    ("ICOUNT", 1, 8),
+    ("ICOUNT", 2, 8),
+    ("ICOUNT", 4, 2),
+    ("BRCOUNT", 2, 8),
+    ("MISSCOUNT", 2, 4),
+    ("IQPOSN", 2, 8),
+]
+
+
+def _run_observed(policy, num1, num2, n_threads, rotation, cycles=500):
+    """Step a machine, recording per-cycle per-thread fetch counts
+    (observed via each thread's fetch sequence counter) and the fetch
+    buffer's thread-run structure."""
+    config = scheme(policy, num1, num2, n_threads=n_threads)
+    sim = Simulator(config, standard_mix(n_threads, rotation))
+    per_cycle = []
+    runs_per_cycle = []
+    prev = [t.next_seq for t in sim.threads]
+    for _ in range(cycles):
+        cycle = sim.cycle
+        sim.step()
+        now = [t.next_seq for t in sim.threads]
+        per_cycle.append([n - p for n, p in zip(now, prev)])
+        prev = now
+        tids = []
+        for uop in sim.fetch_buffer:
+            if uop.fetch_c == cycle and (not tids or tids[-1] != uop.tid):
+                tids.append(uop.tid)
+        runs_per_cycle.append(tids)
+    return config, per_cycle, runs_per_cycle
+
+
+@pytest.mark.parametrize("policy,num1,num2", SCHEMES)
+@pytest.mark.parametrize("n_threads,rotation", [(4, 0), (8, 1)])
+def test_partition_bounds_hold_every_cycle(policy, num1, num2,
+                                           n_threads, rotation):
+    config, per_cycle, _ = _run_observed(policy, num1, num2,
+                                         n_threads, rotation)
+    fetched_something = False
+    for counts in per_cycle:
+        total = sum(counts)
+        fetched_something = fetched_something or total > 0
+        assert total <= config.fetch_width
+        assert sum(1 for c in counts if c) <= num1, \
+            f"{policy}.{num1}.{num2}: too many threads fetched"
+        assert max(counts) <= num2, \
+            f"{policy}.{num1}.{num2}: per-thread block too large"
+        assert min(counts) >= 0
+    assert fetched_something
+
+
+@pytest.mark.parametrize("policy,num1,num2", SCHEMES)
+def test_fetch_blocks_never_interleave(policy, num1, num2):
+    _, _, runs_per_cycle = _run_observed(policy, num1, num2, 4, 0)
+    for tids in runs_per_cycle:
+        assert len(tids) == len(set(tids)), (
+            f"{policy}.{num1}.{num2}: one thread's fetch block split "
+            f"around another's: {tids}"
+        )
+        assert len(tids) <= num1
+
+
+@pytest.mark.parametrize("n_threads", [1, 2])
+def test_partition_bounds_with_few_threads(n_threads):
+    # num1 larger than the thread count must degrade gracefully.
+    config, per_cycle, _ = _run_observed("ICOUNT", 4, 2, n_threads, 0)
+    for counts in per_cycle:
+        assert sum(1 for c in counts if c) <= n_threads
+        assert max(counts) <= 2
+        assert sum(counts) <= config.fetch_width

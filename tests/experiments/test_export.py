@@ -163,6 +163,40 @@ class TestRunDocument:
             export.load_run_json(path)
 
 
+class TestViolationDocument:
+    def _violation(self):
+        from repro.verify.sanitizer import InvariantViolation
+        return InvariantViolation(
+            "iq-overflow", "queue holds 40 entries", 321, tid=1,
+            details={"occupancy": 40, "capacity": 32},
+        )
+
+    def test_round_trip(self, tmp_path):
+        path = os.path.join(tmp_path, "violation.json")
+        case = {"seed": 17, "n_threads": 4}
+        written = export.write_violation_json(
+            path, self._violation(), case=case, context="fuzz seed 17")
+        loaded = export.load_violation_json(path)
+        assert loaded == json.loads(json.dumps(written))
+        assert loaded["schema"] == export.VIOLATION_SCHEMA
+        assert loaded["schema_version"] == export.SCHEMA_VERSION
+        assert loaded["violation"]["invariant"] == "iq-overflow"
+        assert loaded["violation"]["cycle"] == 321
+        assert loaded["case"] == case
+        assert loaded["context"] == "fuzz seed 17"
+
+    def test_accepts_prebuilt_dict(self):
+        document = export.violation_document(self._violation().to_dict())
+        assert document["violation"]["invariant"] == "iq-overflow"
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "bad.json")
+        with open(path, "w") as f:
+            json.dump({"schema": "repro.run", "schema_version": 1}, f)
+        with pytest.raises(ValueError, match="expected schema"):
+            export.load_violation_json(path)
+
+
 class TestExperimentDocument:
     def test_export_and_load(self, data, tmp_path):
         paths = export.export_experiment("fig3", data, str(tmp_path))

@@ -99,6 +99,52 @@ class TestRunSpecKeys:
         base = _specs()[0]
         assert base.key() != dataclasses.replace(base, dcache_mshrs=4).key()
 
+    def test_key_distinguishes_checked_runs(self):
+        # A cached unchecked result says nothing about whether the run
+        # passes the sanitizer, so checked runs get their own identity.
+        base = _specs()[0]
+        checked = dataclasses.replace(base, check_invariants=True)
+        assert base.key() != checked.key()
+
+
+class TestSanitizedRuns:
+    """``check_invariants`` runs are observationally identical to
+    unchecked runs — same SimResult, any execution path."""
+
+    def test_sanitizer_does_not_change_results(self, no_cache_env):
+        base = _specs()[0]
+        checked = dataclasses.replace(base, check_invariants=True)
+        assert _fields(run_spec(base)) == _fields(run_spec(checked))
+
+    def test_serial_pool_and_cache_replay_identical(self, no_cache_env,
+                                                    tmp_path):
+        specs = [
+            dataclasses.replace(spec, check_invariants=True)
+            for spec in _specs()
+        ]
+        serial = execute_runs(specs, jobs=1, use_cache=False)
+        pooled = execute_runs(specs, jobs=2, use_cache=False)
+        cache = ResultCache(str(tmp_path))
+        stored = execute_runs(specs, jobs=1, cache=cache)
+        replayed = execute_runs(specs, jobs=1, cache=cache)
+        assert cache.stats()["hits"] == len(specs)
+        reference = [_fields(r) for r in serial]
+        for produced in (pooled, stored, replayed):
+            assert [_fields(r) for r in produced] == reference
+
+    def test_violation_propagates_from_pool_worker(self, no_cache_env,
+                                                   monkeypatch):
+        from repro.verify.sanitizer import InvariantViolation
+        import repro.experiments.parallel as parallel_module
+
+        def broken_run_spec(spec):
+            raise InvariantViolation("iq-overflow", "boom", 7, tid=1)
+
+        monkeypatch.setattr(parallel_module, "run_spec", broken_run_spec)
+        with pytest.raises(InvariantViolation) as excinfo:
+            execute_runs(_specs()[:1], jobs=1, use_cache=False)
+        assert excinfo.value.invariant == "iq-overflow"
+
 
 class TestKnobs:
     def test_default_jobs_env(self, monkeypatch):
@@ -121,6 +167,18 @@ class TestKnobs:
         parallel.configure(use_cache=None)
         monkeypatch.setenv("REPRO_NO_CACHE", "1")
         assert parallel.default_use_cache() is False
+
+    def test_check_invariants_env_and_configure(self, monkeypatch):
+        parallel.configure(check_invariants=None)
+        monkeypatch.delenv("REPRO_CHECK_INVARIANTS", raising=False)
+        assert parallel.default_check_invariants() is False
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+        assert parallel.default_check_invariants() is True
+        parallel.configure(check_invariants=False)
+        try:
+            assert parallel.default_check_invariants() is False
+        finally:
+            parallel.configure(check_invariants=None)
 
 
 class TestProgress:

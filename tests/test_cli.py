@@ -73,6 +73,32 @@ class TestCommands:
         assert code == 0
         assert "superscalar pipeline" in out
 
+    def test_run_check_invariants(self):
+        code, out = run_cli(
+            "run", "--threads", "2", "--cycles", "800", "--warmup", "100",
+            "--check-invariants",
+        )
+        assert code == 0
+        assert "invariants    : clean" in out
+
+    def test_fuzz_small_campaign(self, tmp_path):
+        code, out = run_cli(
+            "fuzz", "--seeds", "2", "--max-cycles", "400",
+            "--corpus", str(tmp_path / "corpus"), "--quiet",
+        )
+        assert code == 0
+        assert "2 seeds, 2 ok, clean" in out
+
+    def test_fuzz_replay_corpus_case(self):
+        import glob
+        import os
+        corpus = os.path.join(os.path.dirname(__file__), "corpus")
+        paths = sorted(glob.glob(os.path.join(corpus, "case-*.json")))
+        assert paths, "committed corpus missing"
+        code, out = run_cli("fuzz", "--replay", paths[0])
+        assert code == 0
+        assert "-> ok" in out
+
 
 class TestObservabilityFlags:
     def test_run_metrics_prints_histograms_and_telemetry(self):

@@ -1,0 +1,34 @@
+"""Replay every committed fuzz-corpus case under the sanitizer.
+
+The corpus pins configurations that once broke the pipeline (shrunk
+reproducers) plus hand-picked seed cases; each must run its full cycle
+budget with every structural invariant intact and every committed PC
+matching the architectural oracle.
+"""
+
+import os
+
+import pytest
+
+from repro.verify.fuzz import corpus_paths, load_corpus_case, run_case
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CASES = corpus_paths(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert len(CASES) >= 4, "seed corpus entries are missing"
+
+
+@pytest.mark.parametrize(
+    "path", CASES, ids=[os.path.basename(p) for p in CASES]
+)
+def test_corpus_case_replays_clean(path):
+    case, document = load_corpus_case(path)
+    outcome = run_case(case)
+    note = document.get("note", "")
+    assert outcome.ok, (
+        f"{os.path.basename(path)} ({note}) regressed: "
+        f"{outcome.describe()}"
+    )
+    assert outcome.commits > 0

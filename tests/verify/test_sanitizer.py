@@ -1,0 +1,242 @@
+"""Pipeline invariant sanitizer: clean runs stay clean, injected bugs
+are caught, violations are structured, and the sanitizer composes with
+every other observer through the listener chains."""
+
+import pickle
+
+import pytest
+
+from repro.core.config import scheme
+from repro.core.histograms import MetricsCollector
+from repro.core.simulator import Simulator
+from repro.core.telemetry import TelemetrySampler
+from repro.core.trace import PipelineTracer
+from repro.core.uop import S_DONE
+from repro.verify.sanitizer import InvariantViolation, PipelineSanitizer
+from repro.workloads.mixes import standard_mix
+
+
+def _sim(n_threads=2, rotation=0, **overrides):
+    config = scheme("ICOUNT", 2, 8, n_threads=n_threads, **overrides)
+    return Simulator(config, standard_mix(n_threads, rotation))
+
+
+def _step(sim, cycles):
+    for _ in range(cycles):
+        sim.step()
+
+
+class TestAttachDetach:
+    def test_attach_registers_and_detach_unregisters(self):
+        sim = _sim()
+        sanitizer = PipelineSanitizer(sim)
+        assert sim.sanitizer is sanitizer
+        sanitizer.detach()
+        assert sim.sanitizer is None
+        assert sim.commit_listener is None
+        assert sim.squash_listener is None
+
+    def test_second_sanitizer_rejected(self):
+        sim = _sim()
+        PipelineSanitizer(sim)
+        with pytest.raises(RuntimeError):
+            PipelineSanitizer(sim)
+
+    def test_autostart_false_defers_attach(self):
+        sim = _sim()
+        sanitizer = PipelineSanitizer(sim, autostart=False)
+        assert sim.sanitizer is None
+        sanitizer.attach()
+        assert sim.sanitizer is sanitizer
+
+    def test_bad_check_interval_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineSanitizer(_sim(), check_interval=0)
+
+
+class TestCleanRuns:
+    def test_standard_run_is_clean(self):
+        sim = _sim()
+        sanitizer = PipelineSanitizer(sim)
+        _step(sim, 1500)
+        assert sanitizer.cycles_checked == 1500
+        assert sanitizer.commits_checked > 1000
+        assert sanitizer.squashes_checked > 0
+
+    def test_attach_after_functional_warmup_is_clean(self):
+        # The shadow oracles must sync to the warmed architectural
+        # state, not the program entry point.
+        sim = _sim()
+        sim.functional_warmup(3000)
+        sanitizer = PipelineSanitizer(sim)
+        _step(sim, 400)
+        assert sanitizer.commits_checked > 500
+
+    def test_attach_mid_run_is_clean(self):
+        # Lazy oracle sync must also account for in-flight uops.
+        sim = _sim()
+        sim.functional_warmup(3000)
+        _step(sim, 250)
+        sanitizer = PipelineSanitizer(sim)
+        _step(sim, 400)
+        assert sanitizer.commits_checked > 400
+
+    def test_check_interval_thins_structural_sweeps(self):
+        sim = _sim()
+        sim.functional_warmup(3000)
+        sanitizer = PipelineSanitizer(sim, check_interval=10)
+        _step(sim, 200)
+        assert sanitizer.cycles_checked == 20
+        assert sanitizer.commits_checked > 100
+
+    def test_check_oracle_false_skips_lockstep(self):
+        sim = _sim()
+        sim.functional_warmup(3000)
+        sanitizer = PipelineSanitizer(sim, check_oracle=False)
+        _step(sim, 300)
+        assert sanitizer._oracles is None
+        assert sanitizer.commits_checked > 100
+
+
+class TestInjectedBugs:
+    def test_iq_overflow_is_caught(self):
+        # Simulate a capacity-check bug by letting the physical queue
+        # admit more entries than the configured machine allows.  A
+        # 4-thread ICOUNT machine saturates its 32-entry int queue, so
+        # occupancy crosses the configured bound within a few hundred
+        # cycles.
+        sim = _sim(n_threads=4)
+        PipelineSanitizer(sim)
+        sim.int_queue.capacity = sim.cfg.iq_capacity + 16
+        with pytest.raises(InvariantViolation) as excinfo:
+            _step(sim, 2000)
+        violation = excinfo.value
+        assert violation.invariant == "iq-overflow"
+        assert violation.details["occupancy"] > violation.details["capacity"]
+
+    def test_icount_corruption_is_caught(self):
+        sim = _sim()
+        PipelineSanitizer(sim)
+        _step(sim, 100)
+        sim.threads[0].unissued_count += 1
+        with pytest.raises(InvariantViolation) as excinfo:
+            _step(sim, 5)
+        assert excinfo.value.invariant == "icount-accounting"
+        assert excinfo.value.tid == 0
+
+    def test_register_leak_is_caught(self):
+        sim = _sim()
+        PipelineSanitizer(sim)
+        _step(sim, 100)
+        assert sim.renamer.int_file.free_list
+        sim.renamer.int_file.free_list.pop()
+        with pytest.raises(InvariantViolation) as excinfo:
+            _step(sim, 5)
+        assert excinfo.value.invariant == "register-conservation"
+        assert excinfo.value.details["leaked"]
+
+    def test_oracle_divergence_is_caught(self):
+        # Corrupt the PC of an executed correct-path instruction: the
+        # commit stream no longer matches the architectural oracle.
+        sim = _sim()
+        PipelineSanitizer(sim)
+        victim = None
+        for _ in range(600):
+            sim.step()
+            for thread in sim.threads:
+                for uop in thread.rob:
+                    if (uop.state == S_DONE and not uop.wrong_path
+                            and not uop.is_control):
+                        victim = uop
+                        break
+                if victim:
+                    break
+            if victim:
+                break
+        assert victim is not None
+        victim.pc ^= 0x40
+        with pytest.raises(InvariantViolation) as excinfo:
+            _step(sim, 200)
+        violation = excinfo.value
+        assert violation.invariant == "oracle-divergence"
+        assert violation.details["expected_pc"] != \
+            violation.details["actual_pc"]
+
+
+class TestViolationObject:
+    def _violation(self):
+        return InvariantViolation(
+            "iq-overflow", "queue holds 40 entries", 123, tid=2,
+            uop="Uop(t2 #17)", details={"occupancy": 40, "capacity": 32},
+        )
+
+    def test_dict_round_trip(self):
+        violation = self._violation()
+        clone = InvariantViolation.from_dict(violation.to_dict())
+        assert clone.to_dict() == violation.to_dict()
+
+    def test_pickle_round_trip(self):
+        # Violations must survive multiprocessing result channels.
+        violation = self._violation()
+        clone = pickle.loads(pickle.dumps(violation))
+        assert clone.to_dict() == violation.to_dict()
+
+    def test_str_carries_location(self):
+        text = str(self._violation())
+        assert "iq-overflow" in text
+        assert "cycle 123" in text
+        assert "thread 2" in text
+
+
+class TestObserverCoexistence:
+    """The PR's listener-chain fix: sanitizer, tracer, telemetry,
+    metrics, and a directly-assigned listener all observe one run."""
+
+    def test_all_observers_see_every_commit(self):
+        sim = _sim()
+        sim.functional_warmup(3000)
+        commits = []
+        sim.commit_listener = lambda uop: commits.append(uop.pc)
+
+        metrics = MetricsCollector(sim)
+        telemetry = TelemetrySampler(sim, interval=50)
+        tracer = PipelineTracer(sim, max_records=100_000)
+        sanitizer = PipelineSanitizer(sim)
+
+        _step(sim, 400)
+        telemetry.finish()
+
+        assert len(commits) > 300
+        assert sanitizer.commits_checked == len(commits)
+        assert sum(metrics.commits_per_thread.values()) == len(commits)
+        assert sum(s.committed for s in telemetry.samples) == len(commits)
+        committed_records = [r for r in tracer.records if r.commit_c >= 0]
+        assert len(committed_records) == len(commits)
+
+    def test_detach_order_is_arbitrary_and_collapses_chain(self):
+        sim = _sim()
+
+        def plain(uop):
+            pass
+
+        sim.commit_listener = plain
+        metrics = MetricsCollector(sim)
+        telemetry = TelemetrySampler(sim, interval=50)
+        sanitizer = PipelineSanitizer(sim)
+        _step(sim, 60)
+
+        telemetry.detach()
+        sanitizer.detach()
+        metrics.detach()
+        # Chain collapses back to the bare original listener.
+        assert sim.commit_listener is plain
+        _step(sim, 60)  # still runs fine
+
+    def test_sanitizer_still_catches_bugs_with_other_observers(self):
+        sim = _sim(n_threads=4)
+        MetricsCollector(sim)
+        TelemetrySampler(sim, interval=50)
+        PipelineSanitizer(sim)
+        sim.int_queue.capacity = sim.cfg.iq_capacity + 16
+        with pytest.raises(InvariantViolation):
+            _step(sim, 2000)

@@ -29,3 +29,40 @@ def test_committed_stream_prefixes_oracle(name):
     assert len(committed) > 200, f"{name} barely progressed"
     expected = [oracle.step().pc for _ in range(len(committed))]
     assert committed == expected
+
+
+@pytest.mark.parametrize("n_threads,policy", [
+    (2, "ICOUNT"),
+    (4, "ICOUNT"),
+    (4, "RR"),
+    (8, "ICOUNT"),
+])
+def test_multithread_committed_streams_prefix_their_oracles(
+        n_threads, policy):
+    """With threads competing for fetch, issue, and caches, each
+    thread's committed stream must still prefix its own architectural
+    oracle — squashes and fetch-policy starvation may slow a thread
+    down but never corrupt or reorder its stream."""
+    names = sorted(PROFILES)[:n_threads]
+    programs = [
+        generate_program(PROFILES[name], seed=tid)
+        for tid, name in enumerate(names)
+    ]
+    config = SMTConfig(n_threads=n_threads, fetch_policy=policy)
+    sim = Simulator(config, programs)
+    committed = [[] for _ in range(n_threads)]
+    sim.commit_listener = lambda uop: committed[uop.tid].append(uop.pc)
+    warmup = 2000
+    sim.functional_warmup(warmup)
+    oracles = [Emulator(program) for program in programs]
+    for oracle in oracles:
+        for _ in range(warmup):
+            oracle.step()
+    for _ in range(1200):
+        sim.step()
+    assert sum(len(stream) for stream in committed) > 500
+    for tid in range(n_threads):
+        stream = committed[tid]
+        assert stream, f"thread {tid} never committed"
+        expected = [oracles[tid].step().pc for _ in range(len(stream))]
+        assert stream == expected, f"thread {tid} diverged from its oracle"

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Kill-and-resume smoke test for supervised experiment campaigns.
+
+Launches a supervised ``repro experiment`` as a subprocess with a
+checkpoint journal, hard-kills it (SIGKILL — simulating a crashed or
+OOM-killed campaign) as soon as the journal records at least one
+completed point, then reruns the same campaign with ``--resume`` and
+verifies that it finishes cleanly, that every point succeeded, and that
+the points completed before the kill were *skipped* (replayed from the
+journal + result cache) rather than re-simulated.
+
+This is the end-to-end guarantee the checkpoint layer exists for: an
+interrupted campaign loses at most the in-flight run.
+
+Run:  PYTHONPATH=src python scripts/resume_smoke.py [--experiment fig7]
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.experiments.supervise import JournalState
+
+#: fig7 --fast: five single-rotation points at 1-5 threads — small
+#: enough for CI, long enough that a kill lands mid-batch.
+DEFAULT_EXPERIMENT = "fig7"
+
+
+def _campaign_argv(experiment: str, journal: str, resume: bool,
+                   report: str = "") -> list:
+    argv = [
+        sys.executable, "-m", "repro", "experiment", experiment, "--fast",
+        "--jobs", "1", "--timeout", "120", "--max-retries", "0",
+    ]
+    argv += ["--resume", journal] if resume else ["--journal", journal]
+    if report:
+        argv += ["--report", report]
+    return argv
+
+
+def _done_count(journal: str) -> int:
+    return len(JournalState.load(journal).completed)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--experiment", default=DEFAULT_EXPERIMENT)
+    parser.add_argument("--first-done-timeout", type=float, default=300.0,
+                        help="seconds to wait for the first journaled "
+                             "completion before giving up")
+    args = parser.parse_args()
+
+    workdir = tempfile.mkdtemp(prefix="repro-resume-smoke-")
+    journal = os.path.join(workdir, "campaign.jsonl")
+    report = os.path.join(workdir, "report.json")
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = os.path.join(workdir, "cache")
+
+    # Phase 1: start the campaign, kill it after the first completion.
+    print(f"[1/3] launching supervised {args.experiment} campaign "
+          f"(journal: {journal})")
+    victim = subprocess.Popen(
+        _campaign_argv(args.experiment, journal, resume=False),
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + args.first_done_timeout
+    while _done_count(journal) == 0:
+        if victim.poll() is not None:
+            print(f"FAIL: campaign exited (code {victim.returncode}) "
+                  "before completing a single point", file=sys.stderr)
+            return 1
+        if time.monotonic() > deadline:
+            victim.kill()
+            print("FAIL: no journaled completion before timeout",
+                  file=sys.stderr)
+            return 1
+        time.sleep(0.1)
+
+    victim.send_signal(signal.SIGKILL)
+    victim.wait()
+    done_at_kill = _done_count(journal)
+    print(f"[2/3] campaign SIGKILLed mid-batch with "
+          f"{done_at_kill} point(s) journaled")
+
+    # Phase 2: resume the same campaign from the journal.
+    completed = subprocess.run(
+        _campaign_argv(args.experiment, journal, resume=True, report=report),
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    print(completed.stdout)
+    if completed.returncode != 0:
+        print(f"FAIL: resume exited with code {completed.returncode}",
+              file=sys.stderr)
+        return 1
+
+    # Phase 3: the resumed run must have finished every point and
+    # skipped (not re-simulated) the ones that survived the kill.
+    with open(report) as handle:
+        totals = json.load(handle)["totals"]
+    print(f"[3/3] resume report: {totals}")
+    failures = []
+    if totals["failed"] or totals["succeeded"] != totals["total"]:
+        failures.append(f"resume left unfinished points: {totals}")
+    if totals["skipped"] < done_at_kill:
+        failures.append(
+            f"resume re-simulated journaled points: skipped "
+            f"{totals['skipped']} < {done_at_kill} done at kill time"
+        )
+    if totals["simulated"] > totals["total"] - done_at_kill:
+        failures.append(
+            f"resume executed {totals['simulated']} points, expected at "
+            f"most {totals['total'] - done_at_kill}"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"resume smoke OK: killed at {done_at_kill} done, resumed "
+              f"{totals['simulated']} remaining, skipped "
+              f"{totals['skipped']}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

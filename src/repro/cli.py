@@ -9,7 +9,12 @@ Usage::
     python -m repro experiment fig3 [--fast | --full] [--jobs N] [--no-cache]
     python -m repro experiment fig5 --export results/ --progress
     python -m repro experiment all
+    python -m repro experiment fig4 --timeout 300 --max-retries 2 \
+        --report campaign.json
+    python -m repro experiment fig4 --resume ~/.cache/repro-smt/campaigns/fig4.jsonl
     python -m repro fuzz --seeds 25 --max-cycles 3000 [--jobs N]
+    python -m repro fuzz --seeds 500 --journal fuzz.jsonl --timeout 120
+    python -m repro fuzz --seeds 500 --resume fuzz.jsonl
     python -m repro fuzz --replay tests/corpus/case-0123abcd4567.json
     python -m repro workload espresso --instructions 20000
     python -m repro list
@@ -34,7 +39,14 @@ from repro.core.histograms import MetricsCollector
 from repro.core.simulator import Simulator
 from repro.core.telemetry import TelemetrySampler
 from repro.core.trace import PipelineTracer
-from repro.experiments import bottlenecks, export, figures, parallel, tables
+from repro.experiments import (
+    bottlenecks,
+    export,
+    figures,
+    parallel,
+    supervise,
+    tables,
+)
 from repro.experiments.runner import RunBudget
 from repro.workloads.mixes import standard_mix
 from repro.workloads.profiles import PROFILES
@@ -169,6 +181,23 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--check-invariants", action="store_true",
                      help="attach the pipeline sanitizer to every "
                           "simulation in the batch")
+    exp.add_argument("--timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="supervised per-run wall-clock watchdog "
+                          "(default: REPRO_RUN_TIMEOUT, off)")
+    exp.add_argument("--max-retries", type=int, default=None, metavar="N",
+                     help="retries per crashed/timed-out run "
+                          "(default: REPRO_MAX_RETRIES or 1)")
+    exp.add_argument("--journal", metavar="PATH", default=None,
+                     help="append the campaign checkpoint journal here "
+                          "(default: <cache dir>/campaigns/<name>.jsonl "
+                          "when supervision is active)")
+    exp.add_argument("--resume", metavar="JOURNAL", default=None,
+                     help="resume a campaign: skip points the journal "
+                          "records as done, re-queue its failures")
+    exp.add_argument("--report", metavar="PATH", default=None,
+                     help="write the schema-versioned campaign "
+                          "fault-tolerance report as JSON")
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -197,6 +226,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="replay one corpus case instead of fuzzing")
     fuzz.add_argument("--quiet", action="store_true",
                       help="suppress per-seed progress lines")
+    fuzz.add_argument("--timeout", type=float, default=None,
+                      metavar="SECONDS",
+                      help="per-case wall-clock watchdog (runs each "
+                           "case in a crash-isolated worker)")
+    fuzz.add_argument("--journal", metavar="PATH", default=None,
+                      help="record executed seeds in an append-only "
+                           "campaign journal")
+    fuzz.add_argument("--resume", metavar="JOURNAL", default=None,
+                      help="skip seeds the journal already records and "
+                           "keep journaling to it")
 
     wl = sub.add_parser("workload",
                         help="inspect a synthetic benchmark program")
@@ -321,19 +360,77 @@ def cmd_experiment(args) -> int:
         progress=parallel.progress_printer() if args.progress else None,
         check_invariants=True if args.check_invariants else None,
     )
+    supervising = bool(
+        args.timeout is not None or args.max_retries is not None
+        or args.journal or args.resume or args.report
+        or supervise.supervision_enabled()
+    )
+    knobs = {}
+    if args.timeout is not None:
+        knobs["timeout"] = args.timeout
+    if args.max_retries is not None:
+        knobs["max_retries"] = args.max_retries
+    if args.resume:
+        knobs["resume_path"] = args.resume
+    if supervising:
+        knobs["supervise"] = True
+        knobs["journal_path"] = (
+            args.journal or args.resume
+            or supervise.default_journal_path(args.name)
+        )
+    if knobs:
+        supervise.configure(**knobs)
+    supervise.reset_campaign_log()
+
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
-    for name in names:
-        experiment = EXPERIMENTS[name]
-        data = experiment.compute(budget)
-        experiment.render(data)
-        if args.export:
-            if experiment.exportable:
-                for path in export.export_experiment(name, data, args.export):
-                    print(f"exported: {path}")
-            else:
-                print(f"({name} prints a report; no tabular export)")
-        print()
-    return 0
+    interrupted = False
+    try:
+        for name in names:
+            experiment = EXPERIMENTS[name]
+            data = experiment.compute(budget)
+            experiment.render(data)
+            if args.export:
+                if experiment.exportable:
+                    for path in export.export_experiment(
+                            name, data, args.export):
+                        print(f"exported: {path}")
+                else:
+                    print(f"({name} prints a report; no tabular export)")
+            print()
+    except KeyboardInterrupt:
+        interrupted = True
+        print("\ninterrupted — campaign state flushed to the journal",
+              file=sys.stderr)
+    finally:
+        if knobs:
+            supervise.configure(supervise=None, timeout=None,
+                                max_retries=None, journal_path=None,
+                                resume_path=None)
+
+    if not supervising:
+        return 130 if interrupted else 0
+
+    reports = supervise.campaign_reports()
+    failed = sum(r.failed for r in reports)
+    for report in reports:
+        if report.failed or report.retried or report.skipped \
+                or report.interrupted:
+            print(report.describe())
+    if reports:
+        total = sum(r.total for r in reports)
+        print(f"campaign total: {total - failed}/{total} points ok, "
+              f"{sum(r.retried for r in reports)} retried, "
+              f"{sum(r.skipped for r in reports)} skipped"
+              + (" [INTERRUPTED]" if interrupted else ""))
+        print(f"journal: {reports[-1].journal_path} "
+              f"(resume with: repro experiment {args.name} "
+              f"--resume {reports[-1].journal_path})")
+    if args.report:
+        export.write_campaign_json(args.report, reports, name=args.name)
+        print(f"campaign report: {args.report}")
+    if interrupted:
+        return 130
+    return 1 if failed else 0
 
 
 def cmd_fuzz(args) -> int:
@@ -367,6 +464,9 @@ def cmd_fuzz(args) -> int:
         shrink=not args.no_shrink,
         corpus_dir=args.corpus,
         log=log,
+        timeout=args.timeout,
+        journal_path=args.journal,
+        resume_from=args.resume,
     )
     print(summary.describe())
     for failure in summary.failures:

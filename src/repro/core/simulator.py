@@ -20,6 +20,7 @@ penalty) and one thread.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
@@ -53,6 +54,64 @@ class CacheStats:
     misses: int
     miss_rate: float
     mpki: float
+
+
+class SimulationAborted(RuntimeError):
+    """Raised by an abort hook to stop a run before it completes.
+
+    Picklable, so it propagates cleanly out of pool/supervisor workers
+    (the experiment supervisor converts it into a ``timeout`` failure
+    record rather than losing the whole campaign).
+    """
+
+    def __init__(self, reason: str, cycle: int = 0):
+        super().__init__(reason)
+        self.reason = reason
+        self.cycle = cycle
+
+    def __reduce__(self):
+        return (SimulationAborted, (self.reason, self.cycle))
+
+
+class Watchdog:
+    """Wall-clock and cycle-budget guard, installable as a simulator's
+    abort hook.
+
+    The hook is polled every :data:`ABORT_CHECK_INTERVAL` cycles from
+    :meth:`Simulator.step` (and once per interleave round during
+    functional warmup), so a pathological configuration aborts with a
+    structured :class:`SimulationAborted` instead of hanging a campaign.
+    Either guard may be ``None`` (disabled).
+    """
+
+    __slots__ = ("deadline", "wall_seconds", "max_cycles")
+
+    def __init__(self, wall_seconds: Optional[float] = None,
+                 max_cycles: Optional[int] = None):
+        self.wall_seconds = wall_seconds
+        self.deadline = (
+            time.monotonic() + wall_seconds if wall_seconds else None
+        )
+        self.max_cycles = max_cycles
+
+    def attach(self, sim: "Simulator") -> None:
+        sim.abort_hook = self
+
+    def __call__(self, sim: "Simulator") -> None:
+        if self.max_cycles is not None and sim.cycle >= self.max_cycles:
+            raise SimulationAborted(
+                f"cycle budget exceeded ({sim.cycle} >= "
+                f"{self.max_cycles} cycles)", sim.cycle,
+            )
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise SimulationAborted(
+                f"wall-clock timeout after {self.wall_seconds}s "
+                f"(cycle {sim.cycle})", sim.cycle,
+            )
+
+
+#: How often (in cycles) ``Simulator.step`` polls the abort hook.
+ABORT_CHECK_INTERVAL = 256
 
 
 class ListenerChain:
@@ -203,6 +262,10 @@ class Simulator:
         self.telemetry = None
         #: Optional attached PipelineSanitizer (per-cycle invariants).
         self.sanitizer = None
+        #: Optional abort hook (e.g. a :class:`Watchdog`), polled every
+        #: ABORT_CHECK_INTERVAL cycles with the simulator; raises
+        #: :class:`SimulationAborted` to stop a runaway run.
+        self.abort_hook = None
 
     # ==================================================================
     # Observer registration.  Several observers can watch the same run:
@@ -410,6 +473,9 @@ class Simulator:
             )
         if cycle & 1023 == 0 and self.pending_exec:
             self._gc_pending_exec()
+        abort_hook = self.abort_hook
+        if abort_hook is not None and cycle & (ABORT_CHECK_INTERVAL - 1) == 0:
+            abort_hook(self)
         telemetry = self.telemetry
         if telemetry is not None and cycle >= telemetry.next_sample_cycle:
             telemetry.sample(cycle)
@@ -447,6 +513,9 @@ class Simulator:
                 self.hierarchy.l3.warm_touch(thread.phys_addr(addr))
         remaining = [instructions_per_thread] * len(self.threads)
         while any(remaining):
+            abort_hook = self.abort_hook
+            if abort_hook is not None:
+                abort_hook(self)
             for thread in self.threads:
                 budget = min(chunk, remaining[thread.tid])
                 remaining[thread.tid] -= budget

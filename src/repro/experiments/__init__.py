@@ -23,20 +23,32 @@ from repro.experiments.runner import (
     run_configs,
     sweep_threads,
 )
+from repro.experiments.supervise import (
+    CampaignJournal,
+    CampaignReport,
+    RunFailure,
+    Supervisor,
+    supervised_execute_runs,
+)
 from repro.experiments import (
     bottlenecks,
     cache,
     figures,
     parallel,
     sensitivity,
+    supervise,
     tables,
 )
 
 __all__ = [
+    "CampaignJournal",
+    "CampaignReport",
     "ExperimentPoint",
     "ResultCache",
     "RunBudget",
+    "RunFailure",
     "RunSpec",
+    "Supervisor",
     "average_runs",
     "bottlenecks",
     "cache",
@@ -49,6 +61,8 @@ __all__ = [
     "run_config",
     "run_configs",
     "sensitivity",
+    "supervise",
+    "supervised_execute_runs",
     "sweep_threads",
     "tables",
 ]

@@ -137,37 +137,61 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
 
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry aside (``<name>.json.corrupt``) so the
+        slot recomputes cleanly but the evidence survives for debugging.
+        The ``.corrupt`` suffix keeps it invisible to ``get``/``len``."""
+        try:
+            os.replace(path, path + ".corrupt")
+            self.quarantined += 1
+        except OSError:
+            pass
+
     def get(self, key: str) -> Optional[SimResult]:
         """The cached result, or ``None`` on a miss.
 
-        A corrupted or stale entry (bad JSON, wrong schema version,
-        checksum mismatch) counts as a miss and is deleted so the slot
-        is recomputed cleanly.
+        A corrupt or truncated entry (garbage JSON, e.g. a writer killed
+        mid-write outside the atomic-rename path, a checksum mismatch,
+        or a payload that no longer builds a ``SimResult``) counts as a
+        miss and is quarantined — never raised.  A stale entry (schema
+        version mismatch: expected churn after upgrades, not damage) is
+        simply deleted.
         """
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-            if entry.get("version") != CACHE_SCHEMA_VERSION:
-                raise ValueError("schema version mismatch")
-            result_dict = entry["result"]
-            if entry.get("checksum") != _checksum(result_dict):
-                raise ValueError("checksum mismatch")
-            result = result_from_dict(result_dict)
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (ValueError, KeyError, TypeError, OSError):
-            # Corrupt or stale: drop the entry and recompute.
+        except (ValueError, OSError):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        try:
+            version = entry.get("version")
+        except AttributeError:  # JSON scalar/array, not an object
+            version = None
+        if version != CACHE_SCHEMA_VERSION:
             try:
                 os.unlink(path)
             except OSError:
                 pass
+            self.misses += 1
+            return None
+        try:
+            result_dict = entry["result"]
+            if entry.get("checksum") != _checksum(result_dict):
+                raise ValueError("checksum mismatch")
+            result = result_from_dict(result_dict)
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -218,7 +242,7 @@ class ResultCache:
         except FileNotFoundError:
             return 0
         for name in names:
-            if not name.endswith(".json"):
+            if not (name.endswith(".json") or name.endswith(".json.corrupt")):
                 continue
             try:
                 os.unlink(os.path.join(self.directory, name))
@@ -228,4 +252,5 @@ class ResultCache:
         return removed
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "quarantined": self.quarantined}

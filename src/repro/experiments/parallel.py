@@ -100,19 +100,25 @@ def build_simulator(spec: RunSpec) -> Simulator:
     return sim
 
 
-def run_spec(spec: RunSpec) -> SimResult:
+def run_spec(spec: RunSpec, watchdog: Any = None) -> SimResult:
     """Execute one run start to finish (the pool worker function).
 
     With ``spec.check_invariants`` set, the pipeline sanitizer rides
     along and raises :class:`~repro.verify.sanitizer.InvariantViolation`
     (picklable, so it propagates cleanly out of pool workers) on the
-    first breach.
+    first breach.  ``watchdog`` (a
+    :class:`~repro.core.simulator.Watchdog`, installed by the campaign
+    supervisor) attaches as the simulator's abort hook so a runaway run
+    raises :class:`~repro.core.simulator.SimulationAborted` instead of
+    hanging its worker.
     """
     budget = spec.budget
     sim = build_simulator(spec)
     if spec.check_invariants:
         from repro.verify.sanitizer import PipelineSanitizer
         PipelineSanitizer(sim)
+    if watchdog is not None:
+        watchdog.attach(sim)
     return sim.run(
         warmup_cycles=budget.warmup_cycles,
         measure_cycles=budget.measure_cycles,
@@ -136,16 +142,23 @@ class BatchProgress:
     completed: int    # slots resolved so far (cache hits + simulated)
     cache_hits: int   # slots served from the persistent cache
     elapsed: float    # seconds since the batch started
+    failed: int = 0   # slots that failed permanently (supervised runs)
+    retried: int = 0  # retry attempts consumed (supervised runs)
 
     @property
     def simulated(self) -> int:
         return self.completed - self.cache_hits
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"{self.completed}/{self.total} runs "
             f"({self.cache_hits} cache hits, {self.elapsed:.1f}s)"
         )
+        if self.failed:
+            text += f", {self.failed} FAILED"
+        if self.retried:
+            text += f", {self.retried} retried"
+        return text
 
 
 ProgressCallback = Callable[[BatchProgress], None]
@@ -268,7 +281,21 @@ def execute_runs(
     ``progress`` (default: the :func:`configure` d callback, if any)
     receives a :class:`BatchProgress` after the cache scan and after
     each completed simulation.
+
+    When campaign supervision is active (``REPRO_RUN_TIMEOUT`` /
+    ``REPRO_MAX_RETRIES``, or the CLI's ``--timeout`` / ``--resume``
+    family), the batch routes through
+    :func:`repro.experiments.supervise.supervised_execute_runs` instead:
+    crash-isolated workers, watchdog timeouts, bounded retries, and a
+    checkpoint journal.  Failed points come back as ``None``.
     """
+    from repro.experiments import supervise
+
+    if supervise.supervision_enabled():
+        return supervise.supervised_execute_runs(
+            specs, jobs=jobs, use_cache=use_cache, cache=cache,
+            progress=progress,
+        ).results
     if jobs is None:
         jobs = default_jobs()
     if use_cache is None:
@@ -312,16 +339,27 @@ def execute_runs(
     if miss_specs:
         if jobs > 1 and len(miss_specs) > 1:
             pool_cm = _pool(min(jobs, len(miss_specs)))
-            with pool_cm as pool:
-                completions = pool.imap(run_spec, miss_specs, chunksize=1)
-                # Consumed inside the with-block: imap yields lazily.
-                for i, result in zip(order, completions):
-                    for j in pending[keys[i]]:
-                        results[j] = result
-                    if cache is not None:
-                        cache.put(keys[i], result)
-                    completed += len(pending[keys[i]])
-                    report()
+            try:
+                with pool_cm as pool:
+                    completions = pool.imap(run_spec, miss_specs,
+                                            chunksize=1)
+                    # Consumed inside the with-block: imap yields lazily.
+                    for i, result in zip(order, completions):
+                        for j in pending[keys[i]]:
+                            results[j] = result
+                        if cache is not None:
+                            cache.put(keys[i], result)
+                        completed += len(pending[keys[i]])
+                        report()
+            except KeyboardInterrupt:
+                # Ctrl-C mid-batch: kill workers promptly (terminate,
+                # then join so no children leak) and emit a final
+                # partial snapshot — completed runs are already in the
+                # cache, so a rerun resumes from them.
+                pool_cm.terminate()
+                pool_cm.join()
+                report()
+                raise
         else:
             for i in order:
                 result = run_spec(specs[i])

@@ -52,30 +52,53 @@ class RunBudget:
 
 @dataclass
 class ExperimentPoint:
-    """One averaged data point (the mean over workload rotations)."""
+    """One averaged data point (the mean over workload rotations).
+
+    Under campaign supervision a rotation can fail permanently (timeout,
+    worker crash); the point then averages the rotations that survived,
+    and a point with *no* surviving rotations reports ``nan`` rather
+    than killing the whole figure.
+    """
 
     label: str
     n_threads: int
     ipc: float
     results: List[SimResult] = field(repr=False, default_factory=list)
 
+    @property
+    def complete(self) -> bool:
+        return bool(self.results)
+
     def metric(self, name: str) -> float:
         """Average of any scalar SimResult attribute over the rotations."""
+        if not self.results:
+            return float("nan")
         values = [getattr(r, name) for r in self.results]
         return sum(values) / len(values)
 
     def cache_metric(self, cache: str, attr: str) -> float:
+        if not self.results:
+            return float("nan")
         values = [getattr(getattr(r, cache), attr) for r in self.results]
         return sum(values) / len(values)
 
 
 def _point_from_results(
-    label: str, n_threads: int, results: List[SimResult]
+    label: str, n_threads: int, results: List[Optional[SimResult]]
 ) -> ExperimentPoint:
-    """Average rotations into a point, in rotation order."""
-    ipc = sum(r.ipc for r in results) / len(results)
+    """Average rotations into a point, in rotation order.
+
+    ``None`` entries (rotations lost to a supervised failure) are
+    dropped; an all-failed point degrades to ``ipc = nan``.
+    """
+    ok = [r for r in results if r is not None]
+    if not ok:
+        return ExperimentPoint(
+            label=label, n_threads=n_threads, ipc=float("nan"), results=[]
+        )
+    ipc = sum(r.ipc for r in ok) / len(ok)
     return ExperimentPoint(
-        label=label, n_threads=n_threads, ipc=ipc, results=results
+        label=label, n_threads=n_threads, ipc=ipc, results=ok
     )
 
 

@@ -107,11 +107,16 @@ def mshr_sweep(budget: Optional[RunBudget] = None,
     results = execute_runs(specs, jobs=jobs, use_cache=use_cache)
     out: Sweep = []
     for i, count in enumerate(counts):
-        chunk = results[i * budget.rotations:(i + 1) * budget.rotations]
-        ipc = sum(r.ipc for r in chunk) / len(chunk)
+        chunk = [
+            r for r in
+            results[i * budget.rotations:(i + 1) * budget.rotations]
+            if r is not None  # rotation lost to a supervised failure
+        ]
+        ipc = sum(r.ipc for r in chunk) / len(chunk) if chunk \
+            else float("nan")
         out.append((count, ExperimentPoint(
             label=f"mshr{count}", n_threads=n_threads, ipc=ipc,
-            results=list(chunk),
+            results=chunk,
         )))
     return out
 

@@ -28,7 +28,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import multiprocessing
 import os
 import random
 import time
@@ -41,7 +40,12 @@ from repro.core.config import (
     SPECULATION_MODES,
     SMTConfig,
 )
-from repro.core.simulator import Simulator
+from repro.core.simulator import SimulationAborted, Simulator, Watchdog
+from repro.experiments.supervise import (
+    CampaignJournal,
+    JournalState,
+    Supervisor,
+)
 from repro.verify.sanitizer import InvariantViolation, PipelineSanitizer
 from repro.workloads.profiles import PROFILES, profile_names
 
@@ -191,17 +195,27 @@ def build_case_simulator(case: FuzzCase) -> Simulator:
     return Simulator(case.config(), programs)
 
 
-def run_case(case: FuzzCase) -> FuzzOutcome:
-    """Run one case under the sanitizer; never raises on a sim bug."""
+def run_case(case: FuzzCase,
+             watchdog: Optional[Watchdog] = None) -> FuzzOutcome:
+    """Run one case under the sanitizer; never raises on a sim bug.
+
+    A campaign-supervisor ``watchdog`` attaches as the simulator's abort
+    hook; its :class:`SimulationAborted` is *not* a sim bug and
+    propagates, so the supervisor records a structured timeout failure.
+    """
     try:
         sim = build_case_simulator(case)
         sanitizer = PipelineSanitizer(
             sim, check_oracle=True, check_interval=case.check_interval,
         )
+        if watchdog is not None:
+            watchdog.attach(sim)
         if case.functional_warmup:
             sim.functional_warmup(case.functional_warmup)
         for _ in range(case.max_cycles):
             sim.step()
+    except SimulationAborted:
+        raise
     except InvariantViolation as violation:
         return FuzzOutcome(
             ok=False, status="violation", cycles_run=sim.cycle,
@@ -384,6 +398,8 @@ class FuzzSummary:
     total_commits: int = 0
     total_cycles: int = 0
     elapsed: float = 0.0
+    skipped: int = 0     # seeds already executed per the resume journal
+    journal_path: Optional[str] = None
 
     @property
     def clean(self) -> bool:
@@ -392,24 +408,26 @@ class FuzzSummary:
     def describe(self) -> str:
         verdict = "clean" if self.clean else \
             f"{len(self.failures)} FAILING case(s)"
+        skipped = f", {self.skipped} resumed-skipped" if self.skipped else ""
         return (
-            f"fuzz: {self.seeds} seeds, {self.ok} ok, {verdict}; "
+            f"fuzz: {self.seeds} seeds, {self.ok} ok, {verdict}{skipped}; "
             f"{self.total_commits} commits checked over "
             f"{self.total_cycles} cycles in {self.elapsed:.1f}s"
         )
 
 
-def _run_generated(args: Tuple[int, int, int]) -> FuzzOutcome:
+def _run_generated(args: Tuple[int, int, int],
+                   watchdog: Optional[Watchdog] = None) -> FuzzOutcome:
     seed, max_cycles, check_interval = args
-    return run_case(generate_case(seed, max_cycles, check_interval))
+    return run_case(generate_case(seed, max_cycles, check_interval),
+                    watchdog=watchdog)
 
 
-def _pool(processes: int):
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        ctx = multiprocessing.get_context()
-    return ctx.Pool(processes=processes)
+#: Statuses produced by the campaign supervisor (worker-level faults),
+#: as opposed to in-process case verdicts.  They carry no violation and
+#: must not be shrunk: replaying a hang in-process would hang the
+#: shrinker itself.
+_SUPERVISOR_STATUSES = frozenset(("timeout", "crash", "oom", "interrupted"))
 
 
 def fuzz_run(
@@ -421,26 +439,73 @@ def fuzz_run(
     shrink: bool = True,
     corpus_dir: Optional[str] = None,
     log: Optional[Callable[[str], None]] = None,
+    timeout: Optional[float] = None,
+    journal_path: Optional[str] = None,
+    resume_from: Optional[str] = None,
 ) -> FuzzSummary:
     """Run a fuzzing campaign over ``seeds`` consecutive seeds.
 
     Failing cases are shrunk to minimal reproducers and (when
     ``corpus_dir`` is set) written into the golden-regression corpus.
+
+    Campaigns reuse the experiment supervisor
+    (:class:`~repro.experiments.supervise.Supervisor`): with ``jobs > 1``
+    or a per-case ``timeout``, every case runs in a crash-isolated
+    worker process, so a hung or dying case becomes a structured failure
+    instead of wedging the campaign.  ``journal_path`` records each
+    executed seed in an append-only checkpoint journal;
+    ``resume_from`` replays such a journal and skips seeds it already
+    records (``repro fuzz --resume``), so interrupted campaigns continue
+    instead of restarting from seed 0.
     """
     started = time.perf_counter()
     say = log or (lambda _msg: None)
-    seed_list = list(range(start_seed, start_seed + seeds))
+    if resume_from and not journal_path:
+        journal_path = resume_from
+    executed = JournalState.load(resume_from).seeds if resume_from else {}
+    all_seeds = range(start_seed, start_seed + seeds)
+    seed_list = [s for s in all_seeds if s not in executed]
     work = [(s, max_cycles, check_interval) for s in seed_list]
 
-    summary = FuzzSummary(seeds=seeds, ok=0)
-    if jobs > 1 and len(work) > 1:
-        with _pool(min(jobs, len(work))) as pool:
-            outcomes = list(pool.imap(_run_generated, work, chunksize=1))
-    else:
-        outcomes = []
-        for item in work:
-            outcomes.append(_run_generated(item))
-            say(f"seed {item[0]}: {outcomes[-1].describe()}")
+    summary = FuzzSummary(seeds=seeds, ok=0,
+                          skipped=len(all_seeds) - len(seed_list),
+                          journal_path=journal_path)
+    if summary.skipped:
+        say(f"resuming from {resume_from}: "
+            f"{summary.skipped} seed(s) already executed")
+
+    journal = CampaignJournal(journal_path) if journal_path else None
+    outcomes: List[FuzzOutcome] = []
+    try:
+        if work and (jobs > 1 or timeout):
+            supervisor = Supervisor(
+                _run_generated, jobs=jobs, timeout=timeout, max_retries=0,
+            )
+            verdicts = supervisor.run(
+                [(f"seed:{item[0]}", item) for item in work]
+            )
+            for item in work:
+                verdict = verdicts[f"seed:{item[0]}"]
+                if verdict.ok:
+                    outcome = verdict.result
+                else:
+                    failure = verdict.failure
+                    outcome = FuzzOutcome(
+                        ok=False, status=failure.kind, cycles_run=0,
+                        commits=0, error=failure.message,
+                    )
+                outcomes.append(outcome)
+                if journal is not None:
+                    journal.seed_done(item[0], outcome.status)
+        else:
+            for item in work:
+                outcomes.append(_run_generated(item))
+                say(f"seed {item[0]}: {outcomes[-1].describe()}")
+                if journal is not None:
+                    journal.seed_done(item[0], outcomes[-1].status)
+    finally:
+        if journal is not None:
+            journal.close()
 
     for seed, outcome in zip(seed_list, outcomes):
         summary.total_commits += outcome.commits
@@ -450,8 +515,9 @@ def fuzz_run(
             continue
         case = generate_case(seed, max_cycles, check_interval)
         say(f"seed {seed} FAILED: {outcome.describe()}")
+        shrinkable = shrink and outcome.status not in _SUPERVISOR_STATUSES
         minimal, minimal_outcome = (
-            shrink_case(case) if shrink else (case, outcome)
+            shrink_case(case) if shrinkable else (case, outcome)
         )
         if minimal_outcome.ok:   # flaky shrink guard; keep the original
             minimal, minimal_outcome = case, outcome
@@ -459,7 +525,7 @@ def fuzz_run(
             seed=seed, case=minimal, outcome=minimal_outcome,
             original_case=case,
         )
-        if corpus_dir:
+        if corpus_dir and outcome.status not in _SUPERVISOR_STATUSES:
             failure.corpus_path = save_corpus_case(
                 minimal, corpus_dir,
                 violation=minimal_outcome.violation,

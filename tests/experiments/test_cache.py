@@ -111,6 +111,83 @@ class TestCacheStore:
         assert cache.clear() == 1
         assert len(cache) == 0
 
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(SPEC.key(), run_spec(SPEC))
+        assert os.listdir(cache.directory) == [f"{SPEC.key()}.json"]
+
+
+class TestQuarantine:
+    def test_garbage_entry_quarantined_not_raised(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(SPEC.key(), run_spec(SPEC))
+        path = _entry_path(cache)
+        with open(path, "w") as fh:
+            fh.write("{ truncated mid-wri")
+        fresh = ResultCache(str(tmp_path))
+        assert fresh.get(SPEC.key()) is None
+        assert fresh.stats()["quarantined"] == 1
+        assert os.path.exists(path + ".corrupt")
+
+    def test_tampered_payload_quarantined(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(SPEC.key(), run_spec(SPEC))
+        path = _entry_path(cache)
+        with open(path) as fh:
+            entry = json.load(fh)
+        entry["result"]["committed"] += 1
+        with open(path, "w") as fh:
+            json.dump(entry, fh)
+        fresh = ResultCache(str(tmp_path))
+        assert fresh.get(SPEC.key()) is None
+        assert fresh.stats()["quarantined"] == 1
+        assert os.path.exists(path + ".corrupt")
+
+    def test_quarantined_entries_invisible(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(SPEC.key(), run_spec(SPEC))
+        with open(_entry_path(cache), "w") as fh:
+            fh.write("garbage")
+        fresh = ResultCache(str(tmp_path))
+        assert fresh.get(SPEC.key()) is None
+        assert len(fresh) == 0
+        assert SPEC.key() not in fresh
+
+    def test_recompute_repairs_quarantined_slot(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        expected = execute_runs([SPEC], jobs=1, cache=cache)[0]
+        with open(_entry_path(cache), "w") as fh:
+            fh.write("garbage")
+        fresh = ResultCache(str(tmp_path))
+        recomputed = execute_runs([SPEC], jobs=1, cache=fresh)[0]
+        assert dataclasses.asdict(recomputed) == dataclasses.asdict(expected)
+        assert fresh.get(SPEC.key()) is not None
+        # The corrupt evidence survives alongside the repaired entry.
+        assert any(n.endswith(".corrupt") for n in os.listdir(str(tmp_path)))
+
+    def test_stale_version_deleted_not_quarantined(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(SPEC.key(), run_spec(SPEC))
+        path = _entry_path(cache)
+        with open(path) as fh:
+            entry = json.load(fh)
+        entry["version"] = CACHE_SCHEMA_VERSION - 1
+        with open(path, "w") as fh:
+            json.dump(entry, fh)
+        fresh = ResultCache(str(tmp_path))
+        assert fresh.get(SPEC.key()) is None
+        assert fresh.stats()["quarantined"] == 0
+        assert not os.path.exists(path + ".corrupt")
+
+    def test_clear_removes_quarantined_files(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(SPEC.key(), run_spec(SPEC))
+        with open(_entry_path(cache), "w") as fh:
+            fh.write("garbage")
+        cache.get(SPEC.key())  # quarantines
+        assert ResultCache(str(tmp_path)).clear() == 1
+        assert os.listdir(str(tmp_path)) == []
+
 
 class TestEnvironment:
     def test_cache_dir_env(self, monkeypatch, tmp_path):

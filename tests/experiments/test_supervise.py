@@ -1,0 +1,510 @@
+"""Tests for fault-tolerant campaign supervision.
+
+Covers the failure taxonomy (injected crash, hang, OOM, invariant,
+silent worker death), bounded retry with a retry-then-succeed flake,
+the checkpoint journal (including torn-write tolerance), resume
+semantics (only missing/failed points re-execute), and the determinism
+contract: a supervised run's ``SimResult`` is field-identical to an
+unsupervised one.
+"""
+
+import dataclasses
+import json
+import math
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.config import SMTConfig
+from repro.core.simulator import SimulationAborted, Watchdog
+from repro.experiments import parallel, supervise
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import RunSpec, execute_runs, run_spec
+from repro.experiments.runner import ExperimentPoint, RunBudget
+from repro.experiments.supervise import (
+    CampaignJournal,
+    JournalState,
+    RunFailure,
+    Supervisor,
+    supervised_execute_runs,
+)
+from repro.verify.sanitizer import InvariantViolation
+
+TINY = RunBudget(warmup_cycles=100, measure_cycles=400,
+                 functional_warmup_instructions=2000, rotations=1)
+
+
+def _spec(rotation=0, n_threads=1):
+    return RunSpec(config=SMTConfig(n_threads=n_threads),
+                   rotation=rotation, budget=TINY)
+
+
+def _fields(result):
+    return dataclasses.asdict(result)
+
+
+@pytest.fixture
+def clean_knobs(monkeypatch):
+    monkeypatch.delenv("REPRO_RUN_TIMEOUT", raising=False)
+    monkeypatch.delenv("REPRO_MAX_RETRIES", raising=False)
+
+    def reset():
+        supervise.configure(supervise=None, timeout=None, max_retries=None,
+                            journal_path=None, resume_path=None)
+
+    reset()
+    yield
+    reset()
+
+
+# ----------------------------------------------------------------------
+# Supervisor task functions (module scope; the fork start method also
+# carries monkeypatched module state into the workers).
+# ----------------------------------------------------------------------
+def _task_ok(payload, watchdog):
+    return payload * 2
+
+
+def _task_crash(payload, watchdog):
+    raise ValueError("injected crash")
+
+
+def _task_hang(payload, watchdog):
+    time.sleep(60)
+
+
+def _task_oom(payload, watchdog):
+    raise MemoryError
+
+
+def _task_invariant(payload, watchdog):
+    raise InvariantViolation("iq-overflow", "injected", 7, tid=1)
+
+
+def _task_aborted(payload, watchdog):
+    raise SimulationAborted("wall-clock timeout after 0.1s", 512)
+
+
+def _task_silent_exit(payload, watchdog):
+    os._exit(3)
+
+
+def _task_sigkill(payload, watchdog):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _task_kbint(payload, watchdog):
+    raise KeyboardInterrupt
+
+
+def _task_flake(marker_path, watchdog):
+    # Fails until the marker exists, i.e. exactly once.
+    if not os.path.exists(marker_path):
+        open(marker_path, "w").close()
+        raise ValueError("flaky first attempt")
+    return "recovered"
+
+
+class TestSupervisorTaxonomy:
+    def test_success(self):
+        outcomes = Supervisor(_task_ok).run([("a", 21)])
+        assert outcomes["a"].ok
+        assert outcomes["a"].result == 42
+        assert outcomes["a"].attempts == 1
+
+    def test_crash_is_structured(self):
+        outcomes = Supervisor(_task_crash).run([("a", None)])
+        failure = outcomes["a"].failure
+        assert failure.kind == "crash"
+        assert "ValueError: injected crash" in failure.message
+        assert "injected crash" in failure.details["traceback"]
+
+    def test_crash_retries_exhausted(self):
+        sup = Supervisor(_task_crash, max_retries=2, backoff=0.01)
+        outcomes = sup.run([("a", None)])
+        assert outcomes["a"].failure.kind == "crash"
+        assert outcomes["a"].attempts == 3
+        assert sup.retries_used == 2
+
+    def test_hang_is_hard_killed(self):
+        sup = Supervisor(_task_hang, timeout=0.2, kill_grace=0.2)
+        start = time.monotonic()
+        outcomes = sup.run([("a", None)])
+        failure = outcomes["a"].failure
+        assert failure.kind == "timeout"
+        assert "hard-killed" in failure.message
+        assert time.monotonic() - start < 10.0
+
+    def test_simulation_aborted_is_timeout(self):
+        outcomes = Supervisor(_task_aborted).run([("a", None)])
+        failure = outcomes["a"].failure
+        assert failure.kind == "timeout"
+        assert "wall-clock timeout" in failure.message
+        assert failure.details["cycle"] == 512
+
+    def test_memory_error_is_oom(self):
+        outcomes = Supervisor(_task_oom).run([("a", None)])
+        assert outcomes["a"].failure.kind == "oom"
+
+    def test_invariant_never_retried(self):
+        sup = Supervisor(_task_invariant, max_retries=3, backoff=0.01)
+        outcomes = sup.run([("a", None)])
+        failure = outcomes["a"].failure
+        assert failure.kind == "invariant"
+        assert outcomes["a"].attempts == 1
+        assert sup.retries_used == 0
+        assert failure.details["violation"]["invariant"] == "iq-overflow"
+
+    def test_worker_interrupt_never_retried(self):
+        sup = Supervisor(_task_kbint, max_retries=3, backoff=0.01)
+        outcomes = sup.run([("a", None)])
+        assert outcomes["a"].failure.kind == "interrupted"
+        assert outcomes["a"].attempts == 1
+
+    def test_silent_death_is_crash(self):
+        outcomes = Supervisor(_task_silent_exit).run([("a", None)])
+        failure = outcomes["a"].failure
+        assert failure.kind == "crash"
+        assert "exit code 3" in failure.message
+
+    def test_sigkill_classified_as_oom(self):
+        outcomes = Supervisor(_task_sigkill).run([("a", None)])
+        assert outcomes["a"].failure.kind == "oom"
+
+    def test_flake_recovers_on_retry(self, tmp_path):
+        sup = Supervisor(_task_flake, max_retries=1, backoff=0.01)
+        outcomes = sup.run([("a", str(tmp_path / "marker"))])
+        assert outcomes["a"].ok
+        assert outcomes["a"].result == "recovered"
+        assert outcomes["a"].attempts == 2
+        assert sup.retries_used == 1
+
+    def test_mixed_batch_with_jobs(self):
+        sup = Supervisor(_task_ok, jobs=2)
+        outcomes = sup.run([(f"k{i}", i) for i in range(5)])
+        assert len(outcomes) == 5
+        assert all(outcomes[f"k{i}"].result == 2 * i for i in range(5))
+
+    def test_on_outcome_fires_per_task(self):
+        seen = []
+        sup = Supervisor(_task_ok, jobs=2, on_outcome=seen.append)
+        sup.run([("a", 1), ("b", 2)])
+        assert sorted(o.key for o in seen) == ["a", "b"]
+
+    def test_parent_interrupt_kills_live_workers(self):
+        # A KeyboardInterrupt raised in the parent (here: from the
+        # outcome hook) must kill live workers promptly and record them
+        # as interrupted rather than leaking them.
+        def fn(payload, watchdog):
+            if payload == "fast":
+                return "done"
+            time.sleep(60)
+
+        def boom(outcome):
+            if outcome.key == "fast":
+                raise KeyboardInterrupt
+
+        sup = Supervisor(fn, jobs=2, on_outcome=boom)
+        start = time.monotonic()
+        with pytest.raises(KeyboardInterrupt):
+            sup.run([("fast", "fast"), ("slow", "slow")])
+        assert time.monotonic() - start < 10.0
+        assert sup.outcomes["fast"].ok
+        assert sup.outcomes["slow"].failure.kind == "interrupted"
+
+
+class TestRunFailure:
+    def test_dict_round_trip(self):
+        failure = RunFailure(kind="timeout", key="abc", message="m",
+                             attempts=2, elapsed=1.5, label="T8/rot0",
+                             details={"cycle": 9})
+        rebuilt = RunFailure.from_dict(failure.to_dict())
+        assert rebuilt == failure
+
+    def test_str_names_kind_and_label(self):
+        failure = RunFailure(kind="crash", key="deadbeef" * 8,
+                             message="boom", attempts=2, label="ICOUNT/T8")
+        text = str(failure)
+        assert "[crash]" in text and "ICOUNT/T8" in text
+        assert "2 attempts" in text
+
+
+# ----------------------------------------------------------------------
+# Checkpoint journal.
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        with CampaignJournal(path) as journal:
+            journal.done("k1", elapsed=0.5)
+            journal.failed(RunFailure(kind="crash", key="k2", message="boom"))
+            journal.seed_done(7, "ok")
+        state = JournalState.load(path)
+        assert state.completed == {"k1"}
+        assert state.failures["k2"].kind == "crash"
+        assert state.seeds == {7: "ok"}
+
+    def test_schema_header_written_once(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        CampaignJournal(path).close()
+        with CampaignJournal(path) as journal:
+            journal.done("k1")
+        lines = [json.loads(line) for line in open(path)]
+        headers = [l for l in lines if l.get("schema")]
+        assert len(headers) == 1
+        assert headers[0]["schema"] == supervise.JOURNAL_SCHEMA
+
+    def test_done_supersedes_failed(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        with CampaignJournal(path) as journal:
+            journal.failed(RunFailure(kind="timeout", key="k", message="m"))
+            journal.done("k")
+        state = JournalState.load(path)
+        assert state.completed == {"k"}
+        assert "k" not in state.failures
+
+    def test_corrupt_tail_tolerated(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        with CampaignJournal(path) as journal:
+            journal.done("k1")
+        with open(path, "a") as handle:
+            handle.write('{"event":"done","key":"k2"}\n')
+            handle.write('{"event":"done","ke')  # torn final write
+        state = JournalState.load(path)
+        assert state.completed == {"k1", "k2"}
+
+    def test_missing_journal_is_empty_state(self, tmp_path):
+        state = JournalState.load(str(tmp_path / "absent.jsonl"))
+        assert not state.completed and not state.failures and not state.seeds
+
+
+# ----------------------------------------------------------------------
+# Supervised RunSpec execution.
+# ----------------------------------------------------------------------
+class TestSupervisedDeterminism:
+    def test_supervised_matches_unsupervised(self, clean_knobs):
+        spec = _spec()
+        campaign = supervised_execute_runs(
+            [spec], jobs=1, use_cache=False, timeout=120, max_retries=0,
+            journal_path=None, resume_path=None,
+        )
+        assert campaign.report.succeeded == 1
+        assert _fields(campaign.results[0]) == _fields(run_spec(spec))
+
+    def test_watchdog_aborts_pathological_run(self, clean_knobs):
+        campaign = supervised_execute_runs(
+            [_spec()], jobs=1, use_cache=False, timeout=1e-5, max_retries=0,
+            journal_path=None, resume_path=None,
+        )
+        assert campaign.results == [None]
+        failure = campaign.report.failures[0]
+        assert failure.kind == "timeout"
+        assert "wall-clock timeout" in failure.message
+
+    def test_cycle_budget_guard(self):
+        watchdog = Watchdog(max_cycles=64)
+        with pytest.raises(SimulationAborted, match="cycle budget"):
+            run_spec(_spec(), watchdog=watchdog)
+
+
+class TestCampaignFaultTolerance:
+    def test_hang_and_crash_then_resume(self, clean_knobs, monkeypatch,
+                                        tmp_path):
+        """The acceptance scenario: a campaign with an injected hang and
+        an injected crash completes with partial results and a report
+        naming both; ``--resume`` then re-executes only the failed
+        points."""
+        specs = [_spec(rotation=r) for r in range(3)]
+        real_run_spec = parallel.run_spec
+        first_log = tmp_path / "executed-first.log"
+        resume_log = tmp_path / "executed-resume.log"
+
+        def injected(spec, watchdog=None, _log=str(first_log)):
+            with open(_log, "a") as handle:
+                handle.write(spec.key() + "\n")
+            if spec.rotation == 1:
+                raise ValueError("injected crash")
+            if spec.rotation == 2:
+                time.sleep(60)  # injected hang; watchdog can't see it
+            return real_run_spec(spec, watchdog=watchdog)
+
+        monkeypatch.setattr(parallel, "run_spec", injected)
+        cache = ResultCache(str(tmp_path / "cache"))
+        journal = str(tmp_path / "campaign.jsonl")
+
+        campaign = supervised_execute_runs(
+            specs, jobs=2, cache=cache, timeout=0.3, max_retries=0,
+            journal_path=journal, resume_path=None, name="acceptance",
+        )
+        report = campaign.report
+        assert campaign.results[0] is not None
+        assert campaign.results[1] is None and campaign.results[2] is None
+        assert report.succeeded == 1 and report.failed == 2
+        kinds = {f.kind for f in report.failures}
+        assert kinds == {"crash", "timeout"}
+        described = report.describe()
+        assert "[crash]" in described and "[timeout]" in described
+        assert "rot1" in described and "rot2" in described
+
+        # Resume: the healthy point replays from journal+cache, only
+        # the crashed and hung points re-execute.
+        def counting(spec, watchdog=None, _log=str(resume_log)):
+            with open(_log, "a") as handle:
+                handle.write(spec.key() + "\n")
+            return real_run_spec(spec, watchdog=watchdog)
+
+        monkeypatch.setattr(parallel, "run_spec", counting)
+        resumed = supervised_execute_runs(
+            specs, jobs=1, cache=cache, timeout=120, max_retries=0,
+            journal_path=journal, resume_path=journal, name="acceptance",
+        )
+        assert all(r is not None for r in resumed.results)
+        assert resumed.report.failed == 0
+        assert resumed.report.skipped == 1
+        assert resumed.report.simulated == 2
+        re_executed = set(resume_log.read_text().split())
+        assert re_executed == {specs[1].key(), specs[2].key()}
+
+    def test_retry_recovers_flaky_run(self, clean_knobs, monkeypatch,
+                                      tmp_path):
+        spec = _spec()
+        real_run_spec = parallel.run_spec
+        marker = str(tmp_path / "flaked")
+
+        def flaky(spec, watchdog=None, _marker=marker):
+            if not os.path.exists(_marker):
+                open(_marker, "w").close()
+                raise ValueError("flaky first attempt")
+            return real_run_spec(spec, watchdog=watchdog)
+
+        monkeypatch.setattr(parallel, "run_spec", flaky)
+        campaign = supervised_execute_runs(
+            [spec], jobs=1, use_cache=False, timeout=120, max_retries=1,
+            backoff=0.01, journal_path=None, resume_path=None,
+        )
+        assert campaign.report.succeeded == 1
+        assert campaign.report.retried == 1
+        assert _fields(campaign.results[0]) == _fields(run_spec(spec))
+
+    def test_journal_records_completions_and_failures(self, clean_knobs,
+                                                      monkeypatch, tmp_path):
+        specs = [_spec(rotation=r) for r in range(2)]
+        real_run_spec = parallel.run_spec
+
+        def half_broken(spec, watchdog=None):
+            if spec.rotation == 1:
+                raise ValueError("boom")
+            return real_run_spec(spec, watchdog=watchdog)
+
+        monkeypatch.setattr(parallel, "run_spec", half_broken)
+        journal = str(tmp_path / "campaign.jsonl")
+        supervised_execute_runs(
+            specs, jobs=1, use_cache=False, timeout=None, max_retries=0,
+            journal_path=journal, resume_path=None,
+        )
+        state = JournalState.load(journal)
+        assert state.completed == {specs[0].key()}
+        assert state.failures[specs[1].key()].kind == "crash"
+
+    def test_interrupt_flushes_journal_and_reports(self, clean_knobs,
+                                                   monkeypatch, tmp_path):
+        # Ctrl-C mid-batch (here: raised from the progress callback
+        # after the first completion) must flush the journal, append a
+        # partial report flagged interrupted, and re-raise.
+        specs = [_spec(rotation=r) for r in range(2)]
+        journal = str(tmp_path / "campaign.jsonl")
+        supervise.reset_campaign_log()
+
+        def interrupting_progress(progress):
+            if progress.completed == 1:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            supervised_execute_runs(
+                specs, jobs=1, use_cache=False, timeout=None, max_retries=0,
+                journal_path=journal, resume_path=None,
+                progress=interrupting_progress,
+            )
+        reports = supervise.campaign_reports()
+        assert reports and reports[-1].interrupted
+        # The completed point made it to disk before the interrupt.
+        assert len(JournalState.load(journal).completed) == 1
+
+    def test_execute_runs_delegates_when_enabled(self, clean_knobs):
+        supervise.configure(supervise=True, timeout=120, max_retries=0)
+        supervise.reset_campaign_log()
+        results = execute_runs([_spec()], jobs=1, use_cache=False)
+        assert results[0] is not None
+        reports = supervise.campaign_reports()
+        assert len(reports) == 1 and reports[0].succeeded == 1
+
+    def test_duplicate_specs_simulated_once(self, clean_knobs, tmp_path):
+        spec = _spec()
+        cache = ResultCache(str(tmp_path))
+        campaign = supervised_execute_runs(
+            [spec, spec], jobs=1, cache=cache, timeout=120, max_retries=0,
+            journal_path=None, resume_path=None,
+        )
+        assert campaign.report.simulated == 1
+        assert cache.stats()["stores"] == 1
+        assert _fields(campaign.results[0]) == _fields(campaign.results[1])
+
+    def test_progress_reports_failures_and_retries(self, clean_knobs,
+                                                   monkeypatch):
+        monkeypatch.setattr(parallel, "run_spec",
+                            lambda spec, watchdog=None: (_ for _ in ()).throw(
+                                ValueError("boom")))
+        snapshots = []
+        supervised_execute_runs(
+            [_spec()], jobs=1, use_cache=False, timeout=None, max_retries=1,
+            backoff=0.01, journal_path=None, resume_path=None,
+            progress=snapshots.append,
+        )
+        last = snapshots[-1]
+        assert last.failed == 1
+        assert last.retried == 1
+        assert "1 FAILED" in str(last) and "1 retried" in str(last)
+
+    def test_failed_point_degrades_to_nan(self):
+        point = ExperimentPoint(label="x", n_threads=1, ipc=float("nan"),
+                                results=[])
+        assert not point.complete
+        assert math.isnan(point.metric("ipc"))
+        assert math.isnan(point.cache_metric("dcache", "miss_rate"))
+
+
+# ----------------------------------------------------------------------
+# Knob resolution (CLI configure > environment > defaults).
+# ----------------------------------------------------------------------
+class TestKnobs:
+    def test_timeout_env(self, clean_knobs, monkeypatch):
+        assert supervise.default_run_timeout() is None
+        monkeypatch.setenv("REPRO_RUN_TIMEOUT", "12.5")
+        assert supervise.default_run_timeout() == 12.5
+        monkeypatch.setenv("REPRO_RUN_TIMEOUT", "garbage")
+        assert supervise.default_run_timeout() is None
+
+    def test_timeout_configure_overrides_env(self, clean_knobs, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_TIMEOUT", "12.5")
+        supervise.configure(timeout=3.0)
+        assert supervise.default_run_timeout() == 3.0
+        supervise.configure(timeout=0)  # non-positive disables
+        assert supervise.default_run_timeout() is None
+
+    def test_max_retries_env(self, clean_knobs, monkeypatch):
+        assert supervise.default_max_retries() == 1
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "4")
+        assert supervise.default_max_retries() == 4
+        supervise.configure(max_retries=0)
+        assert supervise.default_max_retries() == 0
+
+    def test_supervision_enabled(self, clean_knobs, monkeypatch):
+        assert supervise.supervision_enabled() is False
+        monkeypatch.setenv("REPRO_RUN_TIMEOUT", "10")
+        assert supervise.supervision_enabled() is True
+        supervise.configure(supervise=False)
+        assert supervise.supervision_enabled() is False
+        supervise.configure(supervise=None, timeout=5.0)
+        assert supervise.supervision_enabled() is True

@@ -40,6 +40,22 @@ class TestParser:
         args = build_parser().parse_args(["workload", "xlisp"])
         assert args.name == "xlisp"
 
+    def test_experiment_supervision_flags(self):
+        args = build_parser().parse_args([
+            "experiment", "fig3", "--timeout", "30", "--max-retries", "2",
+            "--journal", "j.jsonl", "--report", "r.json",
+        ])
+        assert args.timeout == 30.0
+        assert args.max_retries == 2
+        assert args.journal == "j.jsonl"
+        assert args.report == "r.json"
+
+    def test_fuzz_resume_flags(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--timeout", "60", "--resume", "fuzz.jsonl"])
+        assert args.timeout == 60.0
+        assert args.resume == "fuzz.jsonl"
+
 
 class TestCommands:
     def test_list(self):
@@ -162,6 +178,88 @@ class TestObservabilityFlags:
         with open(f"{out_dir}/fig3.csv") as f:
             assert len(f.readlines()) == 3
 
+class TestSupervisedCli:
+    TINY_SPEC_KWARGS = dict(warmup_cycles=100, measure_cycles=400,
+                            functional_warmup_instructions=2000, rotations=1)
+
+    def _fake_experiment(self, cli, monkeypatch):
+        from repro.core.config import SMTConfig
+        from repro.experiments.parallel import RunSpec, execute_runs
+        from repro.experiments.runner import RunBudget
+
+        tiny = RunBudget(**self.TINY_SPEC_KWARGS)
+
+        def compute(budget):
+            execute_runs(
+                [RunSpec(config=SMTConfig(n_threads=1), rotation=0,
+                         budget=tiny)],
+                jobs=1, use_cache=False,
+            )
+            return []
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "fig3", cli.Experiment(
+            compute=compute, render=lambda data: None, exportable=False,
+        ))
+
+    def test_supervised_experiment_writes_journal_and_report(
+            self, tmp_path, monkeypatch):
+        import os
+
+        import repro.cli as cli
+        from repro.experiments import export
+
+        self._fake_experiment(cli, monkeypatch)
+        journal = str(tmp_path / "fig3.jsonl")
+        report = str(tmp_path / "fig3-report.json")
+        code, out = run_cli(
+            "experiment", "fig3", "--fast", "--timeout", "120",
+            "--max-retries", "0", "--journal", journal, "--report", report,
+        )
+        assert code == 0
+        assert "campaign total: 1/1 points ok" in out
+        assert f"--resume {journal}" in out
+        assert os.path.exists(journal)
+        document = export.load_campaign_json(report)
+        assert document["totals"]["succeeded"] == 1
+        assert document["totals"]["failed"] == 0
+
+    def test_failed_campaign_exits_nonzero_and_names_failure(
+            self, tmp_path, monkeypatch):
+        import repro.cli as cli
+        from repro.experiments import parallel
+
+        self._fake_experiment(cli, monkeypatch)
+
+        def broken(spec, watchdog=None):
+            raise ValueError("injected crash")
+
+        monkeypatch.setattr(parallel, "run_spec", broken)
+        journal = str(tmp_path / "fig3.jsonl")
+        code, out = run_cli(
+            "experiment", "fig3", "--fast", "--timeout", "120",
+            "--max-retries", "0", "--journal", journal,
+        )
+        assert code == 1
+        assert "[crash]" in out
+        assert "injected crash" in out
+        assert "0/1 points ok" in out
+
+    def test_fuzz_journal_then_resume(self, tmp_path):
+        journal = str(tmp_path / "fuzz.jsonl")
+        code, out = run_cli(
+            "fuzz", "--seeds", "2", "--max-cycles", "400", "--quiet",
+            "--journal", journal,
+        )
+        assert code == 0
+        code, out = run_cli(
+            "fuzz", "--seeds", "3", "--max-cycles", "400", "--quiet",
+            "--resume", journal,
+        )
+        assert code == 0
+        assert "2 resumed-skipped" in out
+
+
+class TestEnvDefaults:
     def test_experiment_does_not_freeze_env_defaults(self, monkeypatch):
         # Regression: cmd_experiment used to resolve default_jobs() /
         # default_use_cache() eagerly, freezing the environment knobs

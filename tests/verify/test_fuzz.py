@@ -185,6 +185,52 @@ class TestFuzzCampaign:
         assert corpus_paths(str(tmp_path)) == []
 
 
+@pytest.mark.fuzz
+class TestFuzzResume:
+    def test_journal_and_resume_skip_executed_seeds(self, tmp_path):
+        from repro.experiments.supervise import JournalState
+
+        journal = str(tmp_path / "fuzz.jsonl")
+        first = fuzz_run(seeds=3, max_cycles=400, jobs=1, shrink=False,
+                         journal_path=journal)
+        assert first.skipped == 0
+        assert set(JournalState.load(journal).seeds) == {0, 1, 2}
+
+        lines = []
+        resumed = fuzz_run(seeds=5, max_cycles=400, jobs=1, shrink=False,
+                           resume_from=journal, log=lines.append)
+        assert resumed.skipped == 3
+        assert resumed.ok + len(resumed.failures) == 2
+        assert "3 resumed-skipped" in resumed.describe()
+        assert any("resuming from" in line for line in lines)
+        # The journal now records all five seeds for the next resume.
+        assert set(JournalState.load(journal).seeds) == {0, 1, 2, 3, 4}
+
+    def test_supervised_timeout_not_shrunk_or_corpussed(self, tmp_path,
+                                                        monkeypatch):
+        import repro.verify.fuzz as fuzz_module
+        from repro.core.simulator import SimulationAborted
+
+        real = fuzz_module._run_generated
+
+        def hang_seed_zero(args, watchdog=None):
+            if args[0] == 0:  # what the in-sim watchdog raises on a hang
+                raise SimulationAborted("wall-clock timeout after 30s", 512)
+            return real(args, watchdog=watchdog)
+
+        monkeypatch.setattr(fuzz_module, "_run_generated", hang_seed_zero)
+        summary = fuzz_run(seeds=2, max_cycles=400, jobs=1, timeout=30,
+                           corpus_dir=str(tmp_path))
+        assert len(summary.failures) == 1
+        failure = summary.failures[0]
+        assert failure.seed == 0
+        assert failure.outcome.status == "timeout"
+        # Supervisor kills are environmental, not reproducers: never
+        # shrunk, never written to the golden corpus.
+        assert failure.corpus_path is None
+        assert corpus_paths(str(tmp_path)) == []
+
+
 @pytest.mark.slow
 class TestFuzzSoak:
     def test_wide_campaign_is_clean(self):

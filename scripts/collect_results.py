@@ -17,7 +17,7 @@ job count and cache state.
 import argparse
 import time
 
-from repro.experiments import bottlenecks, figures, parallel, tables
+from repro.experiments import adaptive, bottlenecks, figures, parallel, tables
 from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.experiments.runner import RunBudget
 
@@ -85,6 +85,9 @@ def main():
 
     stamp("Figure 7: 200 physical registers, 1-5 contexts")
     figures.print_figure7(figures.figure7(budget=BUDGET))
+
+    stamp("Adaptive study: meta-policies vs static fetch policies")
+    adaptive.print_adaptive_study(adaptive.adaptive_study(budget=BUDGET))
 
     stamp("Section 7: bottleneck experiments")
     bottlenecks.print_report(BUDGET)

@@ -16,6 +16,9 @@ Usage::
     python -m repro fuzz --seeds 500 --journal fuzz.jsonl --timeout 120
     python -m repro fuzz --seeds 500 --resume fuzz.jsonl
     python -m repro fuzz --replay tests/corpus/case-0123abcd4567.json
+    python -m repro run --threads 8 --fetch-policy "BANDIT:mode=ucb"
+    python -m repro experiment adaptive --fast
+    python -m repro policies
     python -m repro workload espresso --instructions 20000
     python -m repro list
 
@@ -31,7 +34,6 @@ import sys
 from typing import Any, Callable, List, NamedTuple, Optional
 
 from repro.core.config import (
-    FETCH_POLICIES,
     ISSUE_POLICIES,
     SMTConfig,
 )
@@ -40,6 +42,7 @@ from repro.core.simulator import Simulator
 from repro.core.telemetry import TelemetrySampler
 from repro.core.trace import PipelineTracer
 from repro.experiments import (
+    adaptive,
     bottlenecks,
     export,
     figures,
@@ -108,7 +111,24 @@ EXPERIMENTS = {
         _print_nothing,
         exportable=False,
     ),
+    "adaptive": Experiment(
+        lambda budget: adaptive.adaptive_study(budget=budget),
+        adaptive.print_adaptive_study,
+    ),
 }
+
+
+def _fetch_policy_spec(value: str) -> str:
+    """argparse type: validate a fetch-policy spec against the registry
+    at parse time (bad specs exit with the registry's message, exactly
+    as ``choices=`` used to)."""
+    from repro.policy.registry import validate_spec
+
+    try:
+        validate_spec(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -122,8 +142,14 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="simulate one machine configuration")
     run.add_argument("--threads", type=int, default=8,
                      help="hardware contexts (default 8)")
-    run.add_argument("--policy", choices=FETCH_POLICIES, default="ICOUNT",
-                     help="fetch thread-choice policy")
+    run.add_argument("--policy", "--fetch-policy", dest="policy",
+                     type=_fetch_policy_spec, default="ICOUNT",
+                     metavar="SPEC",
+                     help="fetch thread-choice policy: a static name "
+                          "(ICOUNT, RR, ...) or an adaptive meta-policy "
+                          "spec such as HYSTERESIS, BANDIT:mode=ucb or "
+                          "TOURNAMENT:ICOUNT/BRCOUNT "
+                          "(see 'repro policies')")
     run.add_argument("--num1", type=int, default=2,
                      help="threads fetched per cycle")
     run.add_argument("--num2", type=int, default=8,
@@ -144,6 +170,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="timed warmup cycles (default 2000)")
     run.add_argument("--rotation", type=int, default=0,
                      help="workload rotation index (default 0)")
+    run.add_argument("--seed", type=int, default=0,
+                     help="config seed; feeds adaptive meta-policy "
+                          "randomness (default 0)")
     run.add_argument("--metrics", action="store_true",
                      help="print timing histograms and the telemetry "
                           "time series after the run")
@@ -245,6 +274,11 @@ def build_parser() -> argparse.ArgumentParser:
     wl.add_argument("--listing", action="store_true",
                     help="print the first 40 lines of disassembly")
 
+    sub.add_parser(
+        "policies",
+        help="list registered fetch policies and the spec grammar",
+    )
+
     sub.add_parser("list", help="list workloads, policies, experiments")
     return parser
 
@@ -260,6 +294,7 @@ def cmd_run(args) -> int:
         itag=args.itag,
         smt_pipeline=not args.superscalar,
         perfect_branch_prediction=args.perfect_bp,
+        seed=args.seed,
     )
     sim = Simulator(config, standard_mix(args.threads, args.rotation))
 
@@ -316,6 +351,17 @@ def cmd_run(args) -> int:
         sorted(result.committed_per_thread.items())
     )
     print(f"per-thread    : {per_thread}")
+    policy_stats = sim.policy_engine.telemetry()
+    if policy_stats.get("adaptive"):
+        counts = policy_stats.get("choice_counts", {})
+        chosen = ", ".join(
+            f"{arm}:{n}" for arm, n in counts.items() if n
+        ) or "(no completed intervals)"
+        print(f"meta-policy   : {policy_stats['spec']} — "
+              f"{policy_stats['switch_count']} switches over "
+              f"{policy_stats['intervals']} intervals of "
+              f"{policy_stats['interval']} cycles; intervals per arm: "
+              f"{chosen}")
     if sanitizer is not None:
         print(f"invariants    : clean ({sanitizer.cycles_checked} cycles, "
               f"{sanitizer.commits_checked} commits checked against the "
@@ -334,7 +380,8 @@ def cmd_run(args) -> int:
         print(telemetry.report())
     if args.metrics_json:
         document = export.write_run_json(
-            args.metrics_json, result, telemetry=telemetry, metrics=metrics
+            args.metrics_json, result, telemetry=telemetry, metrics=metrics,
+            policy=policy_stats,
         )
         print(f"\nrun report    : {args.metrics_json} "
               f"(schema {document['schema']} v{document['schema_version']}, "
@@ -525,9 +572,38 @@ def cmd_workload(args) -> int:
     return 0
 
 
+def cmd_policies(_args) -> int:
+    from repro.policy.registry import registry_entries
+
+    entries = registry_entries()
+    width = max(len(info.name) for info in entries)
+    for kind, title in (("static", "static fetch policies"),
+                        ("meta", "adaptive meta-policies")):
+        print(f"{title}:")
+        for info in entries:
+            if info.kind != kind:
+                continue
+            print(f"  {info.name:{width}s}  {info.summary}")
+            if info.params:
+                options = ", ".join(sorted(info.params))
+                if info.takes_arms:
+                    options = "arms (ARM/ARM list), " + options
+                print(f"  {'':{width}s}  options: {options}")
+        print()
+    print("spec grammar: NAME, NAME:key=value,...  "
+          "TOURNAMENT and BANDIT accept an arm list: NAME:ARM/ARM[:opts]")
+    print("examples    : ICOUNT   HYSTERESIS:interval=300,dwell=2   "
+          "BANDIT:mode=ucb   TOURNAMENT:ICOUNT/BRCOUNT")
+    return 0
+
+
 def cmd_list(_args) -> int:
+    from repro.policy.registry import meta_policy_names, static_policy_names
+
     print("workloads   :", ", ".join(sorted(PROFILES)))
-    print("fetch       :", ", ".join(FETCH_POLICIES))
+    print("fetch       :", ", ".join(static_policy_names()))
+    print("meta fetch  :", ", ".join(meta_policy_names()),
+          "(see 'repro policies')")
     print("issue       :", ", ".join(ISSUE_POLICIES))
     print("experiments :", ", ".join(sorted(EXPERIMENTS)), "+ all")
     return 0
@@ -540,6 +616,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": cmd_experiment,
         "fuzz": cmd_fuzz,
         "workload": cmd_workload,
+        "policies": cmd_policies,
         "list": cmd_list,
     }
     return handlers[args.command](args)

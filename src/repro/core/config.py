@@ -12,10 +12,13 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 
-#: ICOUNT_BRCOUNT is the weighted combination the paper suggests as
-#: future work ("perhaps the best performance could be achieved from a
-#: weighted combination of them"); the rest are the paper's Section 5.2
-#: policies.
+#: The *static* fetch policies.  ICOUNT_BRCOUNT is the weighted
+#: combination the paper suggests as future work ("perhaps the best
+#: performance could be achieved from a weighted combination of them");
+#: the rest are the paper's Section 5.2 policies.  ``fetch_policy`` also
+#: accepts adaptive meta-policy specs (``HYSTERESIS``, ``BANDIT:...``,
+#: ``TOURNAMENT:A/B``) — the full registry lives in
+#: :mod:`repro.policy.registry` (see ``repro policies``).
 FETCH_POLICIES = ("RR", "BRCOUNT", "MISSCOUNT", "ICOUNT", "IQPOSN",
                   "ICOUNT_BRCOUNT")
 ISSUE_POLICIES = ("OLDEST", "OPT_LAST", "SPEC_LAST", "BRANCH_FIRST")
@@ -100,8 +103,12 @@ class SMTConfig:
     def __post_init__(self):
         if not 1 <= self.n_threads <= 32:
             raise ValueError("n_threads must be in 1..32")
-        if self.fetch_policy not in FETCH_POLICIES:
-            raise ValueError(f"unknown fetch policy {self.fetch_policy!r}")
+        # Registry-backed validation: unknown names, malformed specs,
+        # and bad meta-policy options all fail here, at construction
+        # time, with a message listing the valid registry names —
+        # instead of deep inside the fetch loop.
+        from repro.policy.registry import validate_spec
+        validate_spec(self.fetch_policy)
         if self.issue_policy not in ISSUE_POLICIES:
             raise ValueError(f"unknown issue policy {self.issue_policy!r}")
         if self.speculation not in SPECULATION_MODES:

@@ -21,10 +21,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List
 
-from repro.core.fetch_policy import priority_order
 from repro.core.thread import BLOCKED, ThreadContext
 from repro.core.uop import Uop
 from repro.isa.program import INSTR_BYTES
+from repro.policy.registry import make_policy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.simulator import Simulator
@@ -38,11 +38,23 @@ class FetchUnit:
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.rr_offset = 0
+        #: The thread-choice policy object (static or meta), built from
+        #: the config spec; meta-policies bind listeners to the live
+        #: simulator and are ticked every cycle.
+        self.policy = make_policy(sim.cfg.fetch_policy, seed=sim.cfg.seed)
+        self.adaptive = self.policy.adaptive
+        if self.adaptive:
+            self.policy.bind(sim)
 
     # ------------------------------------------------------------------
     def fetch_cycle(self, cycle: int) -> None:
         sim = self.sim
         cfg = sim.cfg
+        if self.adaptive:
+            # Ticked unconditionally (even when the fetch buffer is
+            # full), so interval boundaries — and therefore policy
+            # decisions — depend only on the cycle count.
+            self.policy.tick(cycle)
         buffer_room = cfg.fetch_width - len(sim.fetch_buffer)
         if buffer_room <= 0:
             self.rr_offset = (self.rr_offset + 1) % cfg.n_threads
@@ -55,8 +67,8 @@ class FetchUnit:
         if cfg.itag:
             candidates = self._itag_filter(candidates, cycle)
 
-        ordered = priority_order(
-            cfg.fetch_policy, candidates, cycle, self.rr_offset,
+        ordered = self.policy.order(
+            candidates, cycle, self.rr_offset,
             cfg.n_threads, sim.int_queue, sim.fp_queue,
         )
 

@@ -1,33 +1,28 @@
-"""Fetch thread-choice policies (Section 5.2 of the paper).
+"""Compatibility shim over the fetch-policy registry.
 
-Each policy orders the fetchable threads best-first:
-
-RR
-    Round-robin rotation (the baseline).
-BRCOUNT
-    Fewest unresolved branches in decode/rename/IQ — favours threads
-    least likely to be on a wrong path.
-MISSCOUNT
-    Fewest outstanding D-cache misses — attacks IQ clog caused by
-    long memory latencies.
-ICOUNT
-    Fewest instructions in decode/rename/IQ — the paper's winner: it
-    prevents any thread from filling the IQ, favours threads moving
-    instructions through quickly, and evens the queue mix.
-IQPOSN
-    Penalise threads whose instructions sit closest to the head of
-    either queue (oldest = most clog-prone); needs no per-thread
-    counters.
+The policy logic lives in :mod:`repro.policy` — the paper's Section 5.2
+policies are :class:`~repro.policy.base.FetchPolicy` classes registered
+in :mod:`repro.policy.registry`, and the adaptive meta-policies build on
+them.  :func:`priority_order` keeps the original stateless functional
+interface for the *static* policies (tests, tools, and docs reference
+it); the fetch unit itself now holds a policy object, which is what
+makes stateful meta-policies possible.
 
 Ties break round-robin, as in the paper.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 from repro.core.queues import InstructionQueue
 from repro.core.thread import ThreadContext
+from repro.policy.base import FetchPolicy
+from repro.policy.registry import get_info, make_policy
+
+#: Static policies are stateless, so one shared instance per name
+#: serves every caller of the functional interface.
+_STATIC_INSTANCES: Dict[str, FetchPolicy] = {}
 
 
 def priority_order(
@@ -39,47 +34,21 @@ def priority_order(
     int_queue: InstructionQueue,
     fp_queue: InstructionQueue,
 ) -> List[ThreadContext]:
-    """Order fetch candidates best-first under ``policy``."""
+    """Order fetch candidates best-first under the *static* ``policy``.
 
-    def rr_rank(t: ThreadContext) -> int:
-        return (t.tid - rr_offset) % n_threads
-
-    if policy == "RR":
-        return sorted(candidates, key=rr_rank)
-
-    if policy == "BRCOUNT":
-        return sorted(candidates, key=lambda t: (t.unresolved_branches, rr_rank(t)))
-
-    if policy == "MISSCOUNT":
-        return sorted(candidates, key=lambda t: (t.misscount(cycle), rr_rank(t)))
-
-    if policy == "ICOUNT":
-        return sorted(candidates, key=lambda t: (t.unissued_count, rr_rank(t)))
-
-    if policy == "ICOUNT_BRCOUNT":
-        # The weighted combination the paper suggests as future work:
-        # ICOUNT attacks IQ clog, BRCOUNT wrong-path waste.  Each
-        # unresolved branch is weighted as a few queued instructions
-        # (a branch's expected wrong-path cost at ~10% misprediction
-        # times a 7-cycle shadow is on that order).
-        return sorted(
-            candidates,
-            key=lambda t: (
-                t.unissued_count + 3 * t.unresolved_branches, rr_rank(t)
-            ),
-        )
-
-    if policy == "IQPOSN":
-        # Lowest priority to threads with instructions closest to the
-        # head of either queue; a big position (or no queued entries)
-        # means low clog risk, hence high priority.
-        def posn_key(t: ThreadContext) -> tuple:
-            closest = min(
-                int_queue.oldest_position_of_thread(t.tid),
-                fp_queue.oldest_position_of_thread(t.tid),
+    Meta-policies carry per-run state and cannot be driven through this
+    stateless interface; construct them with
+    :func:`repro.policy.make_policy` instead.
+    """
+    ranker = _STATIC_INSTANCES.get(policy)
+    if ranker is None:
+        if get_info(policy).kind != "static":
+            raise ValueError(
+                f"{policy!r} is a stateful meta-policy; it cannot be "
+                f"used through the stateless priority_order interface "
+                f"(build it with repro.policy.make_policy)"
             )
-            return (-closest, rr_rank(t))
-
-        return sorted(candidates, key=posn_key)
-
-    raise ValueError(f"unknown fetch policy {policy!r}")
+        ranker = _STATIC_INSTANCES[policy] = make_policy(policy)
+    return ranker.order(
+        candidates, cycle, rr_offset, n_threads, int_queue, fp_queue
+    )

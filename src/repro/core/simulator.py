@@ -245,13 +245,6 @@ class Simulator:
         self.pending_squashes: List[Tuple[Uop, int]] = []
         self.pending_stores: List[List[Uop]] = [[] for _ in range(config.n_threads)]
         self.pending_branches: List[List[Uop]] = [[] for _ in range(config.n_threads)]
-        self.fetch_unit = FetchUnit(self)
-        self.issue_unit = IssueUnit(self)
-        self.execute_unit = ExecuteUnit(self)
-        self.retire_unit = RetireUnit(self)
-        self.stats = Stats()
-        self.cycle = 0
-        self.measuring = False
         #: Optional hook called with every committing uop (tracing,
         #: verification against the architectural stream).  Prefer
         #: :meth:`add_commit_listener` so observers compose.
@@ -266,6 +259,23 @@ class Simulator:
         #: ABORT_CHECK_INTERVAL cycles with the simulator; raises
         #: :class:`SimulationAborted` to stop a runaway run.
         self.abort_hook = None
+        self.stats = Stats()
+        self.cycle = 0
+        self.measuring = False
+        # Units last: an adaptive fetch policy binds commit/squash
+        # listeners at construction, so the observer slots and clock
+        # above must already exist.
+        self.fetch_unit = FetchUnit(self)
+        self.issue_unit = IssueUnit(self)
+        self.execute_unit = ExecuteUnit(self)
+        self.retire_unit = RetireUnit(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def policy_engine(self):
+        """The fetch unit's :class:`~repro.policy.base.FetchPolicy`
+        object (static ranker or stateful meta-policy)."""
+        return self.fetch_unit.policy
 
     # ==================================================================
     # Observer registration.  Several observers can watch the same run:

@@ -31,6 +31,7 @@ from repro.experiments.supervise import (
     supervised_execute_runs,
 )
 from repro.experiments import (
+    adaptive,
     bottlenecks,
     cache,
     figures,
@@ -42,6 +43,7 @@ from repro.experiments import (
 
 __all__ = [
     "CampaignJournal",
+    "adaptive",
     "CampaignReport",
     "ExperimentPoint",
     "ResultCache",

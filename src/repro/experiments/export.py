@@ -30,7 +30,9 @@ FigureData = Dict[str, List[ExperimentPoint]]
 
 #: Version stamped into every exported document.  Bump on any change to
 #: the document layout or field meanings.
-SCHEMA_VERSION = 1
+#: v2: run documents gained an optional ``policy`` section (fetch-policy
+#: telemetry: spec, per-interval choice counts, switch events).
+SCHEMA_VERSION = 2
 RUN_SCHEMA = "repro.run"
 EXPERIMENT_SCHEMA = "repro.experiment"
 VIOLATION_SCHEMA = "repro.violation"
@@ -144,12 +146,17 @@ def run_document(
     result: SimResult,
     telemetry: Optional[Any] = None,
     metrics: Optional[Any] = None,
+    policy: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """One run as a schema-versioned document.
 
     ``telemetry`` is a :class:`~repro.core.telemetry.TelemetrySampler`
     and ``metrics`` a :class:`~repro.core.histograms.MetricsCollector`;
     both optional, both serialised through their ``to_rows``/``to_dict``.
+    ``policy`` is a fetch-policy telemetry dict
+    (:meth:`repro.policy.base.FetchPolicy.telemetry`); for adaptive
+    meta-policies it carries the per-interval choice counts and switch
+    events (schema v2).
     """
     document: Dict[str, Any] = {
         "schema": RUN_SCHEMA,
@@ -163,6 +170,8 @@ def run_document(
         }
     if metrics is not None:
         document["metrics"] = metrics.to_dict()
+    if policy is not None:
+        document["policy"] = policy
     return document
 
 
@@ -171,8 +180,10 @@ def write_run_json(
     result: SimResult,
     telemetry: Optional[Any] = None,
     metrics: Optional[Any] = None,
+    policy: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    document = run_document(result, telemetry=telemetry, metrics=metrics)
+    document = run_document(result, telemetry=telemetry, metrics=metrics,
+                            policy=policy)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)
         handle.write("\n")

@@ -1,0 +1,54 @@
+"""Adaptive fetch-policy subsystem.
+
+Replaces the old string-dispatch fetch policies with a registry of
+:class:`~repro.policy.base.FetchPolicy` objects — the paper's five
+static policies plus the ICOUNT_BRCOUNT hybrid — and adds
+*meta-policies* (HYSTERESIS, BANDIT, TOURNAMENT) that select among the
+static policies at runtime from per-interval pipeline signals.
+
+See ``docs/policies.md`` for the full design; the compatibility shim
+:func:`repro.core.fetch_policy.priority_order` keeps the old functional
+interface for the static policies.
+"""
+
+from repro.policy.base import FetchPolicy
+from repro.policy.meta import (
+    Bandit,
+    Hysteresis,
+    MetaPolicy,
+    Tournament,
+)
+from repro.policy.registry import (
+    PolicyInfo,
+    get_info,
+    is_adaptive_spec,
+    make_policy,
+    meta_policy_names,
+    parse_spec,
+    policy_names,
+    registry_entries,
+    static_policy_names,
+    validate_spec,
+)
+from repro.policy.signals import IntervalSignals, PhaseDetector, SignalTap
+
+__all__ = [
+    "Bandit",
+    "FetchPolicy",
+    "Hysteresis",
+    "IntervalSignals",
+    "MetaPolicy",
+    "PhaseDetector",
+    "PolicyInfo",
+    "SignalTap",
+    "Tournament",
+    "get_info",
+    "is_adaptive_spec",
+    "make_policy",
+    "meta_policy_names",
+    "parse_spec",
+    "policy_names",
+    "registry_entries",
+    "static_policy_names",
+    "validate_spec",
+]

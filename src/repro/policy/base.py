@@ -1,0 +1,77 @@
+"""The fetch-policy object model.
+
+A :class:`FetchPolicy` orders the fetchable threads best-first each
+cycle — the "choice" of the paper's title.  Policies are *objects*, not
+strings: static policies (Section 5.2) are stateless rankers, while
+meta-policies (:mod:`repro.policy.meta`) carry per-run state — phase
+detectors, dueling counters, bandit arms — and pick a static policy to
+delegate to, interval by interval.
+
+Lifecycle: the fetch unit instantiates one policy per simulator from
+``SMTConfig.fetch_policy`` (via :func:`repro.policy.registry.make_policy`).
+Adaptive policies are then ``bind()``-ed to the simulator (registering
+commit/squash listeners through the composing listener chain) and
+``tick()``-ed once per cycle before thread selection; static policies
+skip both, keeping the hot path exactly as cheap as before.
+
+Determinism: a policy's behaviour is a pure function of
+``(SMTConfig, seed)`` and the simulated event stream — no wall-clock,
+no process state, no unseeded randomness — so identical runs are
+bit-identical whether executed serially, in a pool worker, or resumed
+from the result cache.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.queues import InstructionQueue
+    from repro.core.simulator import Simulator
+    from repro.core.thread import ThreadContext
+
+
+class FetchPolicy:
+    """Orders fetch candidates best-first; subclasses implement one
+    ranking (static) or one selection algorithm over rankings (meta)."""
+
+    #: Registry name (set per subclass).
+    name: str = "?"
+    #: One-line summary surfaced by ``repro policies`` and the docs.
+    description: str = ""
+    #: Adaptive policies need ``bind``/``tick``; static ones do not.
+    adaptive: bool = False
+
+    # ------------------------------------------------------------------
+    def order(
+        self,
+        candidates: Sequence["ThreadContext"],
+        cycle: int,
+        rr_offset: int,
+        n_threads: int,
+        int_queue: "InstructionQueue",
+        fp_queue: "InstructionQueue",
+    ) -> List["ThreadContext"]:
+        """The candidates, best-first.  Must return a permutation."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def bind(self, sim: "Simulator") -> None:
+        """Attach to a live simulator (adaptive policies only)."""
+
+    def tick(self, cycle: int) -> None:
+        """Per-cycle hook, called before thread selection (adaptive
+        policies only; static policies are never ticked)."""
+
+    # ------------------------------------------------------------------
+    def telemetry(self) -> Dict[str, Any]:
+        """Policy-choice accounting for the run document export."""
+        return {"policy": self.name, "adaptive": self.adaptive}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+def rr_rank(thread: "ThreadContext", rr_offset: int, n_threads: int) -> int:
+    """The round-robin tiebreak every policy shares (paper Section 5.2)."""
+    return (thread.tid - rr_offset) % n_threads

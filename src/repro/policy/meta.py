@@ -1,0 +1,325 @@
+"""Meta-policies: exploiting choice one level up.
+
+The paper evaluates five static fetch policies and leaves hybrids as
+future work.  These classes select *among* those policies at runtime,
+one static "arm" active at a time, re-decided at fixed cycle intervals
+from the :mod:`repro.policy.signals` stream:
+
+HYSTERESIS
+    Reactive pressure matching: each candidate arm has a proxy metric
+    for the pathology it attacks (IQ occupancy for ICOUNT, wrong-path
+    fraction for BRCOUNT, outstanding-miss pressure for MISSCOUNT);
+    switch to the arm whose pressure is currently worst, but only after
+    it has won ``dwell`` consecutive intervals — the hysteresis that
+    prevents policy thrash.
+
+BANDIT
+    A deterministic, seed-driven multi-armed bandit (epsilon-greedy or
+    UCB1) whose arm statistics are kept *per program phase* (see
+    :class:`~repro.policy.signals.PhaseDetector`), so it converges on
+    the best static policy for each recurring phase rather than one
+    global compromise.
+
+TOURNAMENT
+    Paper-style dueling between two configured arms: sample each for
+    one interval, bump a saturating counter toward the winner, then
+    exploit the counter's favourite for a stretch before re-sampling.
+
+All three are pure functions of ``(SMTConfig, seed)`` and the simulated
+event stream; two runs with the same inputs make bit-identical choices.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.policy.base import FetchPolicy
+from repro.policy.signals import IntervalSignals, PhaseDetector, SignalTap
+from repro.policy.static import STATIC_POLICY_CLASSES
+
+_STATIC_BY_NAME = {cls.name: cls for cls in STATIC_POLICY_CLASSES}
+
+#: Switch events kept verbatim for export (the count is always exact).
+MAX_SWITCH_EVENTS = 512
+
+
+def _make_arms(names: Sequence[str]) -> Dict[str, FetchPolicy]:
+    arms = {}
+    for name in names:
+        if name not in _STATIC_BY_NAME:
+            raise ValueError(
+                f"meta-policy arm {name!r} is not a static policy "
+                f"(valid arms: {', '.join(sorted(_STATIC_BY_NAME))})"
+            )
+        if name in arms:
+            raise ValueError(f"duplicate meta-policy arm {name!r}")
+        arms[name] = _STATIC_BY_NAME[name]()
+    return arms
+
+
+class MetaPolicy(FetchPolicy):
+    """Shared machinery: interval ticking, arm delegation, switch and
+    choice accounting.  Subclasses implement ``_decide``."""
+
+    adaptive = True
+
+    def __init__(self, arms: Sequence[str], interval: int, initial: str):
+        if interval < 1:
+            raise ValueError("meta-policy interval must be >= 1")
+        self.arms = _make_arms(arms)
+        self.arm_names = tuple(self.arms)
+        if initial not in self.arms:
+            raise ValueError(f"initial arm {initial!r} not among arms")
+        self.current = initial
+        self.interval = interval
+        self.tap = SignalTap(interval)
+        #: The raw config spec (set by the registry after construction).
+        self.spec: str = self.name
+        self.intervals = 0
+        self.choice_counts: Dict[str, int] = {n: 0 for n in self.arm_names}
+        self.switch_count = 0
+        self.switch_events: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    def bind(self, sim) -> None:
+        self.tap.bind(sim)
+
+    def tick(self, cycle: int) -> None:
+        if cycle >= self.tap.next_boundary:
+            signals = self.tap.close(cycle)
+            self.intervals += 1
+            # Charge the interval that just closed to the arm that ran it.
+            self.choice_counts[self.current] += 1
+            self._decide(signals, cycle)
+
+    def order(self, candidates, cycle, rr_offset, n_threads,
+              int_queue, fp_queue):
+        return self.arms[self.current].order(
+            candidates, cycle, rr_offset, n_threads, int_queue, fp_queue
+        )
+
+    # ------------------------------------------------------------------
+    def _decide(self, signals: IntervalSignals, cycle: int) -> None:
+        raise NotImplementedError
+
+    def _switch(self, to: str, cycle: int, reason: str) -> None:
+        if to == self.current:
+            return
+        self.switch_count += 1
+        if len(self.switch_events) < MAX_SWITCH_EVENTS:
+            self.switch_events.append({
+                "cycle": cycle, "from": self.current, "to": to,
+                "reason": reason,
+            })
+        self.current = to
+
+    # ------------------------------------------------------------------
+    def telemetry(self) -> Dict[str, Any]:
+        return {
+            "policy": self.name,
+            "spec": self.spec,
+            "adaptive": True,
+            "interval": self.interval,
+            "intervals": self.intervals,
+            "arms": list(self.arm_names),
+            "current": self.current,
+            "choice_counts": dict(self.choice_counts),
+            "switch_count": self.switch_count,
+            "switch_events": list(self.switch_events),
+        }
+
+
+# ----------------------------------------------------------------------
+class Hysteresis(MetaPolicy):
+    name = "HYSTERESIS"
+    description = ("switch to the policy whose proxy pressure is worst "
+                   "(IQ clog/wrong path/miss stalls), with a dwell time")
+
+    #: Proxy pressure per arm, computed from the interval signals.  The
+    #: weights put the three pressures on a comparable scale: queue
+    #: occupancy is naturally 0..1, wrong-path fraction rarely exceeds
+    #: ~0.3, miss pressure saturates at one outstanding miss per thread.
+    def __init__(self, interval: int = 200, dwell: int = 3,
+                 floor: float = 0.10, wrong_path_weight: float = 2.0,
+                 miss_weight: float = 1.0):
+        super().__init__(("ICOUNT", "BRCOUNT", "MISSCOUNT"),
+                         interval=interval, initial="ICOUNT")
+        if dwell < 1:
+            raise ValueError("dwell must be >= 1")
+        self.dwell = dwell
+        self.floor = floor
+        self.wrong_path_weight = wrong_path_weight
+        self.miss_weight = miss_weight
+        self._challenger: Optional[str] = None
+        self._streak = 0
+
+    def _pressures(self, signals: IntervalSignals) -> Dict[str, float]:
+        return {
+            "ICOUNT": signals.iq_frac,
+            "BRCOUNT": signals.wrong_path_frac * self.wrong_path_weight,
+            "MISSCOUNT": signals.miss_pressure * self.miss_weight,
+        }
+
+    def _decide(self, signals: IntervalSignals, cycle: int) -> None:
+        pressures = self._pressures(signals)
+        # Worst pressure wins; ties resolve in fixed arm order.  Below
+        # the floor nothing is clogged and ICOUNT (the paper's best
+        # all-rounder) is the default.
+        target = max(self.arm_names, key=lambda n: (pressures[n], -self.arm_names.index(n)))
+        if pressures[target] < self.floor:
+            target = "ICOUNT"
+        if target == self.current:
+            self._challenger, self._streak = None, 0
+            return
+        if target == self._challenger:
+            self._streak += 1
+        else:
+            self._challenger, self._streak = target, 1
+        if self._streak >= self.dwell:
+            self._switch(
+                target, cycle,
+                f"pressure {pressures[target]:.3f} worst for "
+                f"{self._streak} intervals",
+            )
+            self._challenger, self._streak = None, 0
+
+    def telemetry(self) -> Dict[str, Any]:
+        data = super().telemetry()
+        data["dwell"] = self.dwell
+        return data
+
+
+# ----------------------------------------------------------------------
+class Bandit(MetaPolicy):
+    name = "BANDIT"
+    description = ("seed-driven epsilon-greedy/UCB over the static "
+                   "policies, with per-phase arm statistics")
+
+    DEFAULT_ARMS = ("ICOUNT", "BRCOUNT", "MISSCOUNT", "RR", "IQPOSN")
+
+    def __init__(self, arms: Sequence[str] = DEFAULT_ARMS,
+                 interval: int = 150, epsilon: float = 0.1,
+                 mode: str = "egreedy", ucb_c: float = 0.5,
+                 phase_threshold: float = 0.25, rng_seed: int = 0):
+        super().__init__(arms, interval=interval, initial=arms[0])
+        if mode not in ("egreedy", "ucb"):
+            raise ValueError("bandit mode must be 'egreedy' or 'ucb'")
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        self.epsilon = epsilon
+        self.mode = mode
+        self.ucb_c = ucb_c
+        self.rng = random.Random(rng_seed)
+        self.phases = PhaseDetector(threshold=phase_threshold)
+        #: (phase, arm) -> [pulls, total reward].
+        self._stats: Dict[Any, List[float]] = {}
+
+    # ------------------------------------------------------------------
+    def _arm_stats(self, phase: int, arm: str) -> List[float]:
+        return self._stats.setdefault((phase, arm), [0, 0.0])
+
+    def _best_arm(self, phase: int) -> str:
+        # Unplayed arms first (optimistic init), in fixed arm order, so
+        # every arm gets sampled once per phase before exploitation.
+        for arm in self.arm_names:
+            if self._arm_stats(phase, arm)[0] == 0:
+                return arm
+        if self.mode == "ucb":
+            total = sum(self._arm_stats(phase, a)[0] for a in self.arm_names)
+            log_total = math.log(total)
+
+            def score(arm: str) -> float:
+                pulls, reward = self._arm_stats(phase, arm)
+                return reward / pulls + self.ucb_c * math.sqrt(
+                    log_total / pulls
+                )
+        else:
+            def score(arm: str) -> float:
+                pulls, reward = self._arm_stats(phase, arm)
+                return reward / pulls
+        # Ties resolve in fixed arm order (max keeps the first maximum).
+        return max(self.arm_names, key=lambda a: (score(a), -self.arm_names.index(a)))
+
+    # ------------------------------------------------------------------
+    def _decide(self, signals: IntervalSignals, cycle: int) -> None:
+        phase = self.phases.observe(signals)
+        stats = self._arm_stats(phase, self.current)
+        stats[0] += 1
+        stats[1] += signals.ipc
+        if self.mode == "egreedy" and self.rng.random() < self.epsilon:
+            arm = self.arm_names[self.rng.randrange(len(self.arm_names))]
+            reason = f"explore (phase {phase})"
+        else:
+            arm = self._best_arm(phase)
+            reason = f"exploit (phase {phase})"
+        self._switch(arm, cycle, reason)
+
+    def telemetry(self) -> Dict[str, Any]:
+        data = super().telemetry()
+        data["mode"] = self.mode
+        data["epsilon"] = self.epsilon
+        data["phase"] = self.phases.to_dict()
+        return data
+
+
+# ----------------------------------------------------------------------
+class Tournament(MetaPolicy):
+    name = "TOURNAMENT"
+    description = ("dueling saturating counter between two arms: sample "
+                   "each, bump toward the winner, exploit, repeat")
+
+    COUNTER_MAX = 15
+
+    def __init__(self, arms: Sequence[str] = ("ICOUNT", "BRCOUNT"),
+                 interval: int = 150, exploit: int = 6):
+        if len(arms) != 2:
+            raise ValueError("TOURNAMENT duels exactly two arms")
+        super().__init__(arms, interval=interval, initial=arms[0])
+        if exploit < 1:
+            raise ValueError("exploit span must be >= 1")
+        self.exploit = exploit
+        self.counter = (self.COUNTER_MAX + 1) // 2   # start undecided
+        self._state = "sample_a"
+        self._reward_a = 0.0
+        self._exploit_left = 0
+
+    @property
+    def leader(self) -> str:
+        mid = (self.COUNTER_MAX + 1) / 2
+        return self.arm_names[0] if self.counter >= mid else self.arm_names[1]
+
+    def _decide(self, signals: IntervalSignals, cycle: int) -> None:
+        a, b = self.arm_names
+        if self._state == "sample_a":
+            self._reward_a = signals.ipc
+            self._state = "sample_b"
+            self._switch(b, cycle, "duel: sampling challenger")
+        elif self._state == "sample_b":
+            reward_b = signals.ipc
+            if self._reward_a > reward_b and self.counter < self.COUNTER_MAX:
+                self.counter += 1
+            elif reward_b > self._reward_a and self.counter > 0:
+                self.counter -= 1
+            self._state = "exploit"
+            self._exploit_left = self.exploit
+            self._switch(
+                self.leader, cycle,
+                f"duel {self._reward_a:.2f} vs {reward_b:.2f} "
+                f"(counter {self.counter})",
+            )
+        else:
+            self._exploit_left -= 1
+            if self._exploit_left <= 0:
+                self._state = "sample_a"
+                self._switch(a, cycle, "duel: sampling incumbent")
+
+    def telemetry(self) -> Dict[str, Any]:
+        data = super().telemetry()
+        data["counter"] = self.counter
+        data["leader"] = self.leader
+        return data
+
+
+META_POLICY_CLASSES = (Hysteresis, Bandit, Tournament)

@@ -1,0 +1,269 @@
+"""The fetch-policy registry: one authoritative name -> policy mapping.
+
+Every policy the simulator can run — the paper's five static policies,
+the ICOUNT_BRCOUNT hybrid, and the adaptive meta-policies — registers
+here with a one-line summary and a typed parameter schema.  The CLI's
+``repro policies`` listing, ``SMTConfig`` validation, and the fetch
+unit's policy construction all read this table, so documentation and
+dispatch cannot drift apart.
+
+Config specs are strings (they live in ``SMTConfig.fetch_policy``,
+flow through dataclass serialisation, and hash into result-cache
+keys).  Grammar::
+
+    NAME                          e.g.  ICOUNT
+    NAME:key=value,key=value      e.g.  HYSTERESIS:interval=200,dwell=3
+    NAME:ARM/ARM[/ARM...]         e.g.  TOURNAMENT:ICOUNT/BRCOUNT
+    NAME:ARM/ARM:key=value        e.g.  BANDIT:ICOUNT/RR:mode=ucb
+
+Colon-separated segments after the name are either an arms list
+(static policy names joined by ``/``) or comma-separated ``key=value``
+options; unknown names, unknown keys, and malformed values all raise
+``ValueError`` naming the valid alternatives.
+
+Seeding: :func:`make_policy` derives any internal randomness (the
+BANDIT's exploration RNG) from ``crc32(seed, spec)`` — stable across
+processes and interpreter versions, so a policy is a pure function of
+``(seed, config)``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.policy.base import FetchPolicy
+from repro.policy.meta import Bandit, Hysteresis, Tournament
+from repro.policy.static import STATIC_POLICY_CLASSES
+
+
+# ----------------------------------------------------------------------
+# Parameter converters (raise ValueError with a useful message).
+# ----------------------------------------------------------------------
+def _int(key: str, value: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(f"policy option {key}={value!r} is not an integer")
+
+
+def _float(key: str, value: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise ValueError(f"policy option {key}={value!r} is not a number")
+
+
+def _str(key: str, value: str) -> str:
+    return value
+
+
+@dataclass(frozen=True)
+class PolicyInfo:
+    """One registry row."""
+
+    name: str
+    kind: str                      # "static" | "meta"
+    summary: str
+    #: Factory(arms, params, rng_seed) -> FetchPolicy.
+    factory: Callable[..., FetchPolicy]
+    #: Allowed ``key=value`` options and their converters.
+    params: Mapping[str, Callable[[str, str], Any]] = field(
+        default_factory=dict
+    )
+    takes_arms: bool = False
+
+
+# ----------------------------------------------------------------------
+# Registration.
+# ----------------------------------------------------------------------
+def _static_factory(cls):
+    def build(arms, params, rng_seed):
+        return cls()
+    return build
+
+
+def _hysteresis_factory(arms, params, rng_seed):
+    if arms is not None:
+        raise ValueError("HYSTERESIS arms are fixed "
+                         "(ICOUNT/BRCOUNT/MISSCOUNT)")
+    return Hysteresis(**params)
+
+
+def _bandit_factory(arms, params, rng_seed):
+    kwargs = dict(params, rng_seed=rng_seed)
+    if arms is not None:
+        kwargs["arms"] = arms
+    return Bandit(**kwargs)
+
+
+def _tournament_factory(arms, params, rng_seed):
+    kwargs = dict(params)
+    if arms is not None:
+        kwargs["arms"] = arms
+    return Tournament(**kwargs)
+
+
+_REGISTRY: Dict[str, PolicyInfo] = {}
+
+
+def _register(info: PolicyInfo) -> None:
+    if info.name in _REGISTRY:
+        raise ValueError(f"duplicate policy registration {info.name!r}")
+    _REGISTRY[info.name] = info
+
+
+for _cls in STATIC_POLICY_CLASSES:
+    _register(PolicyInfo(
+        name=_cls.name, kind="static", summary=_cls.description,
+        factory=_static_factory(_cls),
+    ))
+
+_register(PolicyInfo(
+    name=Hysteresis.name, kind="meta", summary=Hysteresis.description,
+    factory=_hysteresis_factory,
+    params={"interval": _int, "dwell": _int, "floor": _float,
+            "wrong_path_weight": _float, "miss_weight": _float},
+))
+_register(PolicyInfo(
+    name=Bandit.name, kind="meta", summary=Bandit.description,
+    factory=_bandit_factory, takes_arms=True,
+    params={"interval": _int, "epsilon": _float, "mode": _str,
+            "ucb_c": _float, "phase_threshold": _float},
+))
+_register(PolicyInfo(
+    name=Tournament.name, kind="meta", summary=Tournament.description,
+    factory=_tournament_factory, takes_arms=True,
+    params={"interval": _int, "exploit": _int},
+))
+
+
+# ----------------------------------------------------------------------
+# Introspection.
+# ----------------------------------------------------------------------
+def policy_names() -> Tuple[str, ...]:
+    """Every registered policy name (static first, then meta)."""
+    return tuple(sorted(
+        _REGISTRY, key=lambda n: (_REGISTRY[n].kind != "static", n)
+    ))
+
+
+def static_policy_names() -> Tuple[str, ...]:
+    return tuple(sorted(
+        n for n, info in _REGISTRY.items() if info.kind == "static"
+    ))
+
+
+def meta_policy_names() -> Tuple[str, ...]:
+    return tuple(sorted(
+        n for n, info in _REGISTRY.items() if info.kind == "meta"
+    ))
+
+
+def registry_entries() -> Tuple[PolicyInfo, ...]:
+    return tuple(_REGISTRY[name] for name in policy_names())
+
+
+def get_info(name: str) -> PolicyInfo:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(_unknown_message(name))
+
+
+def _unknown_message(name: str) -> str:
+    return (
+        f"unknown fetch policy {name!r}; valid policies: "
+        f"{', '.join(policy_names())} "
+        f"(run 'repro policies' for descriptions)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Spec parsing and policy construction.
+# ----------------------------------------------------------------------
+def parse_spec(
+    spec: str,
+) -> Tuple[str, Optional[Tuple[str, ...]], Dict[str, str]]:
+    """Split ``spec`` into (name, arms-or-None, raw option strings)."""
+    if not spec or not isinstance(spec, str):
+        raise ValueError(f"fetch policy spec must be a non-empty string, "
+                         f"got {spec!r}")
+    segments = spec.split(":")
+    name = segments[0]
+    arms: Optional[Tuple[str, ...]] = None
+    params: Dict[str, str] = {}
+    for segment in segments[1:]:
+        if not segment:
+            raise ValueError(f"empty segment in policy spec {spec!r}")
+        if "=" in segment:
+            for pair in segment.split(","):
+                key, sep, value = pair.partition("=")
+                if not sep or not key or not value:
+                    raise ValueError(
+                        f"malformed policy option {pair!r} in {spec!r} "
+                        f"(expected key=value)"
+                    )
+                if key in params:
+                    raise ValueError(f"duplicate policy option {key!r} "
+                                     f"in {spec!r}")
+                params[key] = value
+        else:
+            if arms is not None:
+                raise ValueError(f"multiple arms lists in policy "
+                                 f"spec {spec!r}")
+            arms = tuple(segment.split("/"))
+    return name, arms, params
+
+
+def make_policy(spec: str, seed: int = 0) -> FetchPolicy:
+    """Build the policy a config spec describes.
+
+    Raises ``ValueError`` (listing valid names/options) on any problem,
+    so ``SMTConfig`` can validate specs at construction time.
+    """
+    name, arms, raw_params = parse_spec(spec)
+    info = _REGISTRY.get(name)
+    if info is None:
+        raise ValueError(_unknown_message(name))
+    if info.kind == "static" and (arms is not None or raw_params):
+        raise ValueError(
+            f"static policy {name!r} takes no options (got {spec!r})"
+        )
+    if arms is not None and not info.takes_arms and info.kind == "meta":
+        # HYSTERESIS: arms fixed; the factory raises with specifics.
+        pass
+    params: Dict[str, Any] = {}
+    for key, value in raw_params.items():
+        converter = info.params.get(key)
+        if converter is None:
+            valid = ", ".join(sorted(info.params)) or "(none)"
+            raise ValueError(
+                f"unknown option {key!r} for policy {name} "
+                f"(valid options: {valid})"
+            )
+        params[key] = converter(key, value)
+    rng_seed = zlib.crc32(f"{seed}|{spec}".encode("utf-8"))
+    policy = info.factory(arms, params, rng_seed)
+    policy.spec = spec
+    return policy
+
+
+def validate_spec(spec: str) -> str:
+    """Validate a fetch-policy spec; returns the policy name.
+
+    Construction is cheap (no simulator state), so validation simply
+    builds and discards the policy — every factory-level check (arm
+    names, parameter ranges) runs at config time, not deep inside the
+    fetch loop.
+    """
+    return make_policy(spec, seed=0).name
+
+
+def is_adaptive_spec(spec: str) -> bool:
+    name = parse_spec(spec)[0]
+    info = _REGISTRY.get(name)
+    if info is None:
+        raise ValueError(_unknown_message(name))
+    return info.kind == "meta"

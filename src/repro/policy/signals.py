@@ -1,0 +1,256 @@
+"""Per-interval signals and phase detection for the meta-policies.
+
+Meta-policies decide *between* the paper's static policies from the
+same signal set the telemetry layer samples — per-interval IPC, queue
+occupancy, wrong-path and branch-mispredict rates, memory pressure —
+but collect it themselves through a :class:`SignalTap`, so a policy
+never conflicts with a user-attached
+:class:`~repro.core.telemetry.TelemetrySampler` (the simulator allows
+only one of those) and keeps working outside the measurement window,
+where ``Stats`` counters are frozen.
+
+The tap registers commit/squash listeners through the simulator's
+composing listener chain (so tracer, telemetry, metrics, and sanitizer
+all still coexist) and reads instantaneous state — queue populations,
+outstanding misses, fetch sequence numbers — only at interval edges.
+
+:class:`PhaseDetector` segments the signal stream into *phases* by
+windowed deltas: each interval's normalised signature vector is
+compared against the running centroid of the current phase; a large
+jump closes the phase and either revisits the nearest previously seen
+centroid (recurring phases keep their identity, so per-phase learning
+accumulates) or opens a new one.  Everything is plain float arithmetic
+on deterministic inputs — no clocks, no unseeded randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.simulator import Simulator
+
+
+@dataclass
+class IntervalSignals:
+    """Signal deltas and edge samples for one interval
+    ``[cycle_start, cycle_end)``."""
+
+    cycle_start: int
+    cycle_end: int
+    n_threads: int
+    committed: int            # interval delta (commit listener)
+    control_committed: int    # committed control instructions
+    mispredicts: int          # committed mispredicted control instructions
+    squashed: int             # uops squashed in the interval
+    fetched: int              # interval delta of fetch sequence numbers
+    iq_occupancy: int         # int + fp queue population at the edge
+    iq_capacity: int          # combined capacity of both queues
+    outstanding_misses: int   # D-cache misses in flight at the edge
+    icache_blocked: int       # threads waiting on an I-cache fill
+
+    @property
+    def cycles(self) -> int:
+        return self.cycle_end - self.cycle_start
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def iq_frac(self) -> float:
+        """Queue occupancy as a fraction of combined capacity (the
+        pressure ICOUNT attacks)."""
+        return self.iq_occupancy / self.iq_capacity if self.iq_capacity else 0.0
+
+    @property
+    def wrong_path_frac(self) -> float:
+        """Squashed over fetched — the waste BRCOUNT attacks."""
+        return self.squashed / self.fetched if self.fetched else 0.0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return (self.mispredicts / self.control_committed
+                if self.control_committed else 0.0)
+
+    @property
+    def miss_pressure(self) -> float:
+        """Outstanding misses per thread, clamped to [0, 1] (the
+        pressure MISSCOUNT attacks)."""
+        if not self.n_threads:
+            return 0.0
+        return min(1.0, self.outstanding_misses / self.n_threads)
+
+    @property
+    def icache_frac(self) -> float:
+        """Fraction of threads stalled on an I-cache fill at the edge."""
+        return self.icache_blocked / self.n_threads if self.n_threads else 0.0
+
+    def signature(self) -> Tuple[float, float, float, float]:
+        """Normalised phase-signature vector (each component in [0,1])."""
+        return (
+            min(1.0, self.ipc / 8.0),
+            self.iq_frac,
+            min(1.0, self.mispredict_rate),
+            self.miss_pressure,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cycle_start": self.cycle_start,
+            "cycle_end": self.cycle_end,
+            "ipc": round(self.ipc, 6),
+            "iq_frac": round(self.iq_frac, 6),
+            "wrong_path_frac": round(self.wrong_path_frac, 6),
+            "mispredict_rate": round(self.mispredict_rate, 6),
+            "miss_pressure": round(self.miss_pressure, 6),
+            "icache_frac": round(self.icache_frac, 6),
+        }
+
+
+class SignalTap:
+    """Collects :class:`IntervalSignals` from a live simulator.
+
+    Delta counters accumulate through commit/squash listeners (always
+    active, unlike ``Stats``); edge state is read directly when
+    :meth:`close` is called at an interval boundary.  The owning
+    meta-policy drives the boundaries from its per-cycle ``tick``.
+    """
+
+    def __init__(self, interval: int):
+        if interval < 1:
+            raise ValueError("signal interval must be >= 1")
+        self.interval = interval
+        self.sim: Optional["Simulator"] = None
+        self.next_boundary = interval
+        self._start = 0
+        self._commits = 0
+        self._control = 0
+        self._mispredicts = 0
+        self._squashed = 0
+        self._fetch_base = 0
+
+    # ------------------------------------------------------------------
+    def bind(self, sim: "Simulator") -> None:
+        self.sim = sim
+        sim.add_commit_listener(self._on_commit)
+        sim.add_squash_listener(self._on_squash)
+        self._start = sim.cycle
+        self.next_boundary = sim.cycle + self.interval
+        self._fetch_base = sum(t.next_seq for t in sim.threads)
+
+    # ------------------------------------------------------------------
+    def _on_commit(self, uop) -> None:
+        self._commits += 1
+        if uop.is_control:
+            self._control += 1
+            if uop.mispredicted:
+                self._mispredicts += 1
+
+    def _on_squash(self, uop) -> None:
+        self._squashed += 1
+
+    # ------------------------------------------------------------------
+    def close(self, cycle: int) -> IntervalSignals:
+        """Close the open interval at ``cycle`` and start the next."""
+        sim = self.sim
+        threads = sim.threads
+        fetched_now = sum(t.next_seq for t in threads)
+        signals = IntervalSignals(
+            cycle_start=self._start,
+            cycle_end=cycle,
+            n_threads=len(threads),
+            committed=self._commits,
+            control_committed=self._control,
+            mispredicts=self._mispredicts,
+            squashed=self._squashed,
+            fetched=fetched_now - self._fetch_base,
+            iq_occupancy=(len(sim.int_queue.entries)
+                          + len(sim.fp_queue.entries)),
+            iq_capacity=sim.int_queue.capacity + sim.fp_queue.capacity,
+            outstanding_misses=sum(t.misscount(cycle) for t in threads),
+            icache_blocked=sum(
+                1 for t in threads if t.pending_ifill_line is not None
+            ),
+        )
+        self._start = cycle
+        self.next_boundary = cycle + self.interval
+        self._commits = self._control = self._mispredicts = 0
+        self._squashed = 0
+        self._fetch_base = fetched_now
+        return signals
+
+
+class PhaseDetector:
+    """Online phase segmentation over the interval-signal stream.
+
+    Each observed signature either extends the current phase (updating
+    its running centroid), jumps back to the nearest previously seen
+    phase, or opens a new one.  Phase identifiers are small ints,
+    assigned in first-seen order — deterministic given the stream.
+    """
+
+    def __init__(self, threshold: float = 0.25, max_phases: int = 16):
+        if threshold <= 0:
+            raise ValueError("phase threshold must be positive")
+        if max_phases < 1:
+            raise ValueError("max_phases must be >= 1")
+        self.threshold = threshold
+        self.max_phases = max_phases
+        #: Per-phase running centroid and observation count.
+        self.centroids: List[List[float]] = []
+        self.counts: List[int] = []
+        self.phase = 0
+        self.transitions = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _distance(a, b) -> float:
+        return sum(abs(x - y) for x, y in zip(a, b))
+
+    def _absorb(self, phase: int, vec) -> None:
+        centroid = self.centroids[phase]
+        self.counts[phase] += 1
+        n = self.counts[phase]
+        for i, x in enumerate(vec):
+            centroid[i] += (x - centroid[i]) / n
+
+    # ------------------------------------------------------------------
+    def observe(self, signals: IntervalSignals) -> int:
+        """Fold one interval in; returns the (possibly new) phase id."""
+        vec = signals.signature()
+        if not self.centroids:
+            self.centroids.append(list(vec))
+            self.counts.append(1)
+            return self.phase
+        if self._distance(vec, self.centroids[self.phase]) <= self.threshold:
+            self._absorb(self.phase, vec)
+            return self.phase
+        # Windowed delta exceeded: the program changed behaviour.
+        # Revisit the nearest known phase if it is close enough,
+        # otherwise open a new phase (bounded; overflow folds into the
+        # nearest centroid instead of growing without limit).
+        best, best_dist = 0, float("inf")
+        for i, centroid in enumerate(self.centroids):
+            dist = self._distance(vec, centroid)
+            if dist < best_dist:
+                best, best_dist = i, dist
+        if best_dist > self.threshold and len(self.centroids) < self.max_phases:
+            self.centroids.append(list(vec))
+            self.counts.append(1)
+            best = len(self.centroids) - 1
+        else:
+            self._absorb(best, vec)
+        if best != self.phase:
+            self.transitions += 1
+        self.phase = best
+        return best
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "phases": len(self.centroids),
+            "transitions": self.transitions,
+            "current": self.phase,
+        }

@@ -54,6 +54,16 @@ from repro.workloads.profiles import PROFILES, profile_names
 FUZZ_CASE_SCHEMA = "repro.fuzz_case"
 FUZZ_CASE_SCHEMA_VERSION = 1
 
+#: The fetch-policy config space: every static policy plus adaptive
+#: meta-policy specs (short intervals so several switch decisions land
+#: inside a fuzz-length run).  Shrinking simplifies towards "RR".
+FUZZ_FETCH_POLICIES = FETCH_POLICIES + (
+    "HYSTERESIS:interval=120,dwell=2",
+    "BANDIT:interval=100",
+    "BANDIT:interval=100,mode=ucb",
+    "TOURNAMENT:ICOUNT/BRCOUNT:interval=100",
+)
+
 #: A case that runs this many cycles with zero commits is reported as
 #: stalled (a forward-progress bug) rather than ok.
 _STALL_CYCLES = 1000
@@ -104,6 +114,9 @@ class FuzzCase:
             perfect_branch_prediction=self.perfect_branch_prediction,
             infinite_fus=self.infinite_fus,
             infinite_memory_bandwidth=self.infinite_memory_bandwidth,
+            # Adaptive meta-policies derive their exploration RNG from
+            # the config seed, keeping each case a pure function of it.
+            seed=self.seed,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -137,7 +150,7 @@ def generate_case(seed: int, max_cycles: int = 3000,
     return FuzzCase(
         seed=seed,
         n_threads=n_threads,
-        fetch_policy=rng.choice(FETCH_POLICIES),
+        fetch_policy=rng.choice(FUZZ_FETCH_POLICIES),
         fetch_threads=rng.choice((1, 1, 2, 2, 2, 4)),
         fetch_per_thread=rng.choice((2, 4, 8, 8)),
         issue_policy=rng.choice(ISSUE_POLICIES),

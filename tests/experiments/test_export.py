@@ -140,6 +140,29 @@ class TestRunDocument:
         export.write_run_json(path, result)
         loaded = export.load_run_json(path)
         assert "telemetry" not in loaded and "metrics" not in loaded
+        assert "policy" not in loaded
+
+    def test_policy_section_round_trips(self, tmp_path):
+        """Schema v2: adaptive runs export choice counts and switches."""
+        from repro.core.config import scheme
+        from repro.core.simulator import Simulator
+        from repro.workloads.mixes import standard_mix
+
+        sim = Simulator(
+            scheme("BANDIT:interval=100", 2, 8, n_threads=2),
+            standard_mix(2, 0),
+        )
+        sim.run(warmup_cycles=200, measure_cycles=600,
+                functional_warmup_instructions=2000)
+        path = os.path.join(tmp_path, "adaptive.json")
+        export.write_run_json(path, sim.result(),
+                              policy=sim.policy_engine.telemetry())
+        loaded = export.load_run_json(path)
+        policy = loaded["policy"]
+        assert policy["adaptive"] is True
+        assert policy["spec"] == "BANDIT:interval=100"
+        assert sum(policy["choice_counts"].values()) == policy["intervals"]
+        assert len(policy["switch_events"]) <= policy["switch_count"]
 
     def test_wrong_schema_rejected(self, tmp_path):
         path = os.path.join(tmp_path, "bad.json")

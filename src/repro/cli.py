@@ -188,6 +188,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--check-invariants", action="store_true",
                      help="run with the pipeline invariant sanitizer "
                           "attached (abort on the first violation)")
+    run.add_argument("--profile", type=int, nargs="?", const=25,
+                     default=None, metavar="N",
+                     help="run the simulation under cProfile and print "
+                          "the top N functions by cumulative time "
+                          "(default 25)")
 
     exp = sub.add_parser("experiment",
                          help="regenerate a table/figure of the paper")
@@ -313,9 +318,19 @@ def cmd_run(args) -> int:
         from repro.verify.sanitizer import PipelineSanitizer
         sanitizer = PipelineSanitizer(sim)
 
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+        profiler = cProfile.Profile()
     try:
-        result = sim.run(warmup_cycles=args.warmup,
-                         measure_cycles=args.cycles)
+        if profiler is not None:
+            profiler.enable()
+        try:
+            result = sim.run(warmup_cycles=args.warmup,
+                             measure_cycles=args.cycles)
+        finally:
+            if profiler is not None:
+                profiler.disable()
     except Exception as exc:
         from repro.verify.sanitizer import InvariantViolation
         if not isinstance(exc, InvariantViolation):
@@ -386,6 +401,12 @@ def cmd_run(args) -> int:
         print(f"\nrun report    : {args.metrics_json} "
               f"(schema {document['schema']} v{document['schema_version']}, "
               f"{len(telemetry.samples)} telemetry samples)")
+    if profiler is not None:
+        import pstats
+        print(f"\nprofile       : top {args.profile} functions by "
+              f"cumulative time")
+        pstats.Stats(profiler, stream=sys.stdout) \
+            .sort_stats("cumulative").print_stats(args.profile)
     return 0
 
 

@@ -1,0 +1,669 @@
+"""Specialized fast-step cycle loop.
+
+:func:`run_cycles_fast` advances a :class:`~repro.core.simulator.Simulator`
+by ``n`` cycles, producing **bit-identical** results to ``n`` calls of the
+reference :meth:`Simulator.step` (enforced by
+``tests/core/test_faststep_equivalence.py``).  It is a *transcription* of
+the reference phases — same data structures, same event order, same
+arithmetic — with the per-cycle interpretation overhead removed:
+
+* every pipeline constant (widths, unit counts, queue capacities) and
+  every hot container (buffers, queue entry lists, register-file arrays)
+  is bound to a local once, outside the loop;
+* the commit, execute-completion, issue, rename, and decode phases are
+  inlined, eliminating several function calls *per instruction*;
+* ``measuring`` statistics accumulate in local integers and flush to the
+  ``Stats`` object once, in a ``finally`` block (so aborts flush too).
+
+Rare or stateful paths — mispredict squash application, load/store
+execution, branch resolution, I-tag filtering, fetch-policy ordering,
+branch prediction — delegate to the reference implementations, which
+keeps this module honest: it specializes control flow, it does not fork
+semantics.
+
+Because the loop holds direct references to the mutable containers, the
+reference code paths it delegates to must mutate those containers **in
+place** (``deque.clear``/``extend``, slice assignment) rather than
+rebinding attributes; see ``Simulator._squash_after``,
+``Simulator._apply_squashes``, and ``InstructionQueue.release_freed``.
+
+Eligibility is decided by :meth:`Simulator.run_cycles`: telemetry and the
+sanitizer need cycle-granular hooks the fast loop does not emit, so their
+presence selects the reference loop.  Commit/squash listeners, abort
+hooks (watchdogs), and adaptive fetch policies all work here.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.thread import BLOCKED, _PAGE_MASK, _PAGE_SHIFT
+from repro.core.uop import Uop
+from repro.isa.program import TEXT_BASE
+from repro.policy.static import Brcount, Icount, IcountBrcount, RoundRobin
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.simulator import Simulator
+
+#: Readiness sentinel, mirrored from repro.core.rename.NEVER.
+_NEVER = 1 << 60
+
+
+def run_cycles_fast(sim: "Simulator", n: int) -> None:
+    """Advance ``sim`` by ``n`` cycles on the specialized loop."""
+    # ------------------------------------------------------------------
+    # Per-config constants.
+    # ------------------------------------------------------------------
+    cfg = sim.cfg
+    n_threads = cfg.n_threads
+    fetch_width = cfg.fetch_width
+    fetch_threads = cfg.fetch_threads
+    fetch_per_thread = cfg.fetch_per_thread
+    decode_width = cfg.decode_width
+    rename_width = cfg.rename_width
+    commit_width = cfg.commit_width
+    iq_capacity = cfg.iq_capacity
+    search_window = cfg.iq_size
+    int_units = cfg.int_units
+    ls_units = cfg.ls_units
+    fp_units = cfg.fp_units
+    infinite_fus = cfg.infinite_fus
+    exec_offset = cfg.exec_offset
+    itag = cfg.itag
+    misfetch_penalty = cfg.misfetch_penalty
+    optimistic_issue = cfg.optimistic_issue
+    spec_full = cfg.speculation == "full"
+    dis_mask = (1 << cfg.disambiguation_bits) - 1
+    measuring = sim.measuring
+
+    # ------------------------------------------------------------------
+    # Hot containers and delegated callables (identity-stable).
+    # ------------------------------------------------------------------
+    threads = sim.threads
+    fetch_buffer = sim.fetch_buffer
+    decode_buffer = sim.decode_buffer
+    fetch_pop = fetch_buffer.popleft
+    fetch_append = fetch_buffer.append
+    decode_pop = decode_buffer.popleft
+    decode_append = decode_buffer.append
+    int_queue = sim.int_queue
+    fp_queue = sim.fp_queue
+    int_entries = int_queue.entries
+    fp_entries = fp_queue.entries
+    pending_exec = sim.pending_exec
+    pending_pop = pending_exec.pop
+    pending_squashes = sim.pending_squashes
+    pending_stores = sim.pending_stores
+    pending_branches = sim.pending_branches
+    apply_squashes = sim._apply_squashes
+    renamer = sim.renamer
+    int_file = renamer.int_file
+    fp_file = renamer.fp_file
+    int_ready = int_file.ready
+    fp_ready = fp_file.ready
+    int_producer = int_file.producer
+    fp_producer = fp_file.producer
+    int_free = int_file.free_list
+    fp_free = fp_file.free_list
+    int_maps = int_file.maps
+    fp_maps = fp_file.maps
+    fu = sim.fetch_unit
+    policy = fu.policy
+    policy_order = policy.order
+    policy_tick = policy.tick
+    adaptive = fu.adaptive
+    # Inline thread-ordering for the ubiquitous cheap static policies.
+    # Their sort keys are (metric, rr_rank) with rr_rank a permutation of
+    # 0..n_threads-1, so a decorated tuple sort — (metric, rr_rank,
+    # thread), where the unique rr_rank guarantees the thread object is
+    # never compared — yields exactly the reference's stable keyed sort.
+    # MISSCOUNT (stateful misscount()), IQPOSN, and adaptive meta-policies
+    # keep delegating to policy.order.
+    pcls = policy.__class__
+    if pcls is Icount:
+        fast_order = 1
+    elif pcls is RoundRobin:
+        fast_order = 2
+    elif pcls is Brcount:
+        fast_order = 3
+    elif pcls is IcountBrcount:
+        fast_order = 4
+    else:
+        fast_order = 0
+    itag_filter = fu._itag_filter
+    rr_offset = fu.rr_offset
+    iu = sim.issue_unit
+    static_key = iu._static_key
+    policy_key = iu._policy_key
+    speculation_allows = iu._speculation_allows
+    ex = sim.execute_unit
+    ex_load = ex._execute_load
+    ex_store = ex._execute_store
+    resolve_control = ex._resolve_control
+    predictor_predict = sim.predictor.predict
+    ifetch = sim.hierarchy.ifetch
+    icache = sim.hierarchy.icache
+    icache_line_shift = icache._line_shift
+    icache_banks = icache._banks
+    page_shift = _PAGE_SHIFT
+    page_mask = _PAGE_MASK
+    stats = sim.stats
+    per_thread_committed = stats.committed_per_thread
+    gc_pending = sim._gc_pending_exec
+
+    # Batched statistics deltas (flushed in the finally block).  Counters
+    # incremented by delegated helpers (branch resolution, optimistic
+    # squash, I-cache stalls) are written straight to ``stats`` by that
+    # code and are deliberately NOT duplicated here.
+    cycles_d = 0
+    qpop_d = 0
+    committed_d = 0
+    fetched_d = 0
+    fetched_wp_d = 0
+    fetch_active_d = 0
+    issued_d = 0
+    issued_wp_d = 0
+    int_iq_full_d = 0
+    fp_iq_full_d = 0
+    out_of_regs_d = 0
+
+    cycle = sim.cycle
+    end = cycle + n
+    try:
+        while cycle < end:
+            # Keep the public clock current: abort hooks, listeners and
+            # delegated helpers may read it mid-cycle.
+            sim.cycle = cycle
+
+            # ---------------- squash application ----------------------
+            if pending_squashes:
+                apply_squashes(cycle)
+
+            # ---------------- commit (per-thread, in order) -----------
+            commit_listener = sim.commit_listener
+            budget = commit_width
+            idx = cycle % n_threads
+            for _ in range(n_threads):
+                if budget <= 0:
+                    break
+                thread = threads[idx]
+                idx += 1
+                if idx == n_threads:
+                    idx = 0
+                rob = thread.rob
+                while budget > 0 and rob:
+                    uop = rob[0]
+                    if uop.state != 4 or uop.commit_ready_c > cycle:  # S_DONE
+                        break
+                    rob.popleft()
+                    uop.state = 5  # S_COMMITTED
+                    if uop.dest_preg is not None:
+                        (fp_free if uop.dest_is_fp else int_free).append(
+                            uop.old_preg
+                        )
+                    budget -= 1
+                    if commit_listener is not None:
+                        commit_listener(uop)
+                    if measuring:
+                        committed_d += 1
+                        tid = uop.tid
+                        per_thread_committed[tid] = (
+                            per_thread_committed.get(tid, 0) + 1
+                        )
+
+            # ---------------- execute -------------------------------
+            exec_uops = pending_pop(cycle, None)
+            if exec_uops:
+                for uop in exec_uops:
+                    if uop.state != 3 or uop.exec_c != cycle:  # S_ISSUED
+                        continue  # squashed, or optimistically re-queued
+                    if uop.is_load:
+                        ex_load(uop, cycle)
+                    elif uop.is_store:
+                        ex_store(uop, cycle)
+                    else:
+                        if uop.is_control:
+                            resolve_control(uop, cycle)
+                        # Inlined _finish(cycle + max(0, latency - 1)).
+                        lat = uop.latency
+                        cc = cycle + (lat - 1 if lat > 1 else 0)
+                        uop.complete_c = cc
+                        uop.commit_ready_c = cc + 1
+                        uop.state = 4  # S_DONE
+                        uop.iq_freed = True
+                        dp = uop.dest_preg
+                        if dp is not None:
+                            (fp_producer if uop.dest_is_fp
+                             else int_producer)[dp] = None
+                        if uop.is_control:
+                            threads[uop.tid].unresolved_branches -= 1
+                            branches = pending_branches[uop.tid]
+                            if uop in branches:
+                                branches.remove(uop)
+
+            # ---------------- IQ release + issue ----------------------
+            # One pass per queue fuses slot release (drop iq_freed
+            # entries) with issue-candidate collection.  The collection
+            # predicate — waiting (state 2), inside the search window
+            # *after* release, dispatched on an earlier cycle — is
+            # walk-independent, so collecting before the priority sort
+            # is exactly the reference's waiting() set.  Readiness is
+            # NOT prefilterable: a latency-0 compare issuing this cycle
+            # wakes same-cycle consumers later in the walk.
+            candidates = []
+            new_entries = []
+            cand_append = candidates.append
+            kept_append = new_entries.append
+            pos = 0
+            for uop in int_entries:
+                if uop.iq_freed:
+                    continue
+                if (pos < search_window and uop.state == 2
+                        and uop.dispatch_c < cycle):
+                    cand_append(uop)
+                kept_append(uop)
+                pos += 1
+            int_entries[:] = new_entries
+            new_entries = []
+            kept_append = new_entries.append
+            pos = 0
+            for uop in fp_entries:
+                if uop.iq_freed:
+                    continue
+                if (pos < search_window and uop.state == 2
+                        and uop.dispatch_c < cycle):
+                    cand_append(uop)
+                kept_append(uop)
+                pos += 1
+            fp_entries[:] = new_entries
+            if candidates:
+                candidates.sort(key=static_key or policy_key(cycle))
+                int_left = int_units
+                ls_left = ls_units
+                fp_left = fp_units
+                for uop in candidates:
+                    is_fp_op = uop.is_fp_op
+                    is_mem = uop.is_load or uop.is_store
+                    if not infinite_fus:
+                        if is_fp_op:
+                            if fp_left <= 0:
+                                continue
+                        elif is_mem:
+                            if ls_left <= 0 or int_left <= 0:
+                                continue
+                        elif int_left <= 0:
+                            continue
+                    ready = True
+                    for preg, is_fp in uop.src_pregs:
+                        if (fp_ready[preg] if is_fp
+                                else int_ready[preg]) > cycle:
+                            ready = False
+                            break
+                    if not ready:
+                        continue
+                    if uop.is_load:
+                        mem_key = uop.mem_key
+                        seq = uop.seq
+                        for store in pending_stores[uop.tid]:
+                            if store.seq >= seq:
+                                break
+                            if (store.mem_key == mem_key
+                                    and store.dcache_hit is None):
+                                ready = False
+                                break
+                        if not ready:
+                            continue
+                    if not spec_full and not speculation_allows(uop, cycle):
+                        continue
+
+                    # Inlined _do_issue.
+                    optimistic = False
+                    inflight = False
+                    for preg, is_fp in uop.src_pregs:
+                        p = (fp_producer if is_fp else int_producer)[preg]
+                        if p is not None and p.state == 3:  # S_ISSUED
+                            inflight = True
+                            if p.is_load and p.dcache_hit is None:
+                                optimistic = True
+                                break
+                    uop.optimistic = optimistic
+                    uop.state = 3  # S_ISSUED
+                    uop.issue_c = cycle
+                    ec = cycle + exec_offset
+                    uop.exec_c = ec
+                    lst = pending_exec.get(ec)
+                    if lst is None:
+                        pending_exec[ec] = [uop]
+                    else:
+                        lst.append(uop)
+                    threads[uop.tid].unissued_count -= 1
+                    if measuring:
+                        issued_d += 1
+                        if uop.wrong_path:
+                            issued_wp_d += 1
+                    dp = uop.dest_preg
+                    if dp is not None:
+                        if uop.is_load:
+                            if optimistic_issue:
+                                (fp_ready if uop.dest_is_fp
+                                 else int_ready)[dp] = cycle + 1
+                        else:
+                            (fp_ready if uop.dest_is_fp
+                             else int_ready)[dp] = cycle + uop.latency
+                    if not inflight:
+                        uop.iq_freed = True
+                    if not infinite_fus:
+                        if is_fp_op:
+                            fp_left -= 1
+                        elif is_mem:
+                            ls_left -= 1
+                            int_left -= 1
+                        else:
+                            int_left -= 1
+
+            # ---------------- rename / dispatch -----------------------
+            renamed = 0
+            blocked_int = blocked_fp = blocked_regs = False
+            while decode_buffer and renamed < rename_width:
+                uop = decode_buffer[0]
+                if uop.state == 6:  # S_SQUASHED
+                    decode_pop()
+                    continue
+                if uop.decode_c >= cycle:
+                    break
+                is_fp_op = uop.is_fp_op
+                entries = fp_entries if is_fp_op else int_entries
+                if len(entries) >= iq_capacity:
+                    if is_fp_op:
+                        blocked_fp = True
+                    else:
+                        blocked_int = True
+                    break
+                # Inlined Renamer.rename.
+                instr = uop.instr
+                tid = uop.tid
+                srcs = [
+                    ((fp_maps if is_fp else int_maps)[tid][logical], is_fp)
+                    for logical, is_fp in instr._sources_fp
+                ]
+                rd = instr.rd
+                if rd is not None:
+                    dest_is_fp = instr._rd_is_fp
+                    free = fp_free if dest_is_fp else int_free
+                    if not free:
+                        blocked_regs = True
+                        break  # no side effects: srcs list is discarded
+                    preg = free.pop()
+                    (fp_ready if dest_is_fp else int_ready)[preg] = _NEVER
+                    (fp_producer if dest_is_fp else int_producer)[preg] = uop
+                    uop.dest_preg = preg
+                    uop.dest_is_fp = dest_is_fp
+                    maps_t = (fp_maps if dest_is_fp else int_maps)[tid]
+                    uop.old_preg = maps_t[rd]
+                    maps_t[rd] = preg
+                uop.src_pregs = tuple(srcs)
+                decode_pop()
+                uop.dispatch_c = cycle
+                uop.state = 2  # S_QUEUED
+                entries.append(uop)
+                if uop.is_store:
+                    pending_stores[tid].append(uop)
+                if uop.is_control:
+                    pending_branches[tid].append(uop)
+                renamed += 1
+            if measuring:
+                if blocked_int:
+                    int_iq_full_d += 1
+                if blocked_fp:
+                    fp_iq_full_d += 1
+                if blocked_regs:
+                    out_of_regs_d += 1
+
+            # ---------------- decode ----------------------------------
+            decoded = 0
+            while fetch_buffer and decoded < decode_width:
+                uop = fetch_buffer[0]
+                if uop.state == 6:  # S_SQUASHED
+                    fetch_pop()
+                    continue
+                if uop.fetch_c >= cycle:
+                    break
+                if len(decode_buffer) >= decode_width:
+                    break
+                fetch_pop()
+                uop.decode_c = cycle
+                uop.state = 1  # S_DECODED
+                decode_append(uop)
+                decoded += 1
+
+            # ---------------- fetch -----------------------------------
+            if adaptive:
+                policy_tick(cycle)
+            buffer_room = fetch_width - len(fetch_buffer)
+            if buffer_room > 0:
+                candidates = [
+                    t for t in threads if t.fetch_blocked_until <= cycle
+                ]
+                if itag:
+                    candidates = itag_filter(candidates, cycle)
+                if fast_order == 1:
+                    dec = [
+                        (t.unissued_count,
+                         (t.tid - rr_offset) % n_threads, t)
+                        for t in candidates
+                    ]
+                    dec.sort()
+                    ordered = [d[2] for d in dec]
+                elif fast_order == 2:
+                    # Round-robin rotation: sorted by the (unique)
+                    # rr_rank alone == rotate the tid-ordered list.
+                    ordered = [
+                        t for t in candidates if t.tid >= rr_offset
+                    ]
+                    ordered.extend(
+                        t for t in candidates if t.tid < rr_offset
+                    )
+                elif fast_order == 3:
+                    dec = [
+                        (t.unresolved_branches,
+                         (t.tid - rr_offset) % n_threads, t)
+                        for t in candidates
+                    ]
+                    dec.sort()
+                    ordered = [d[2] for d in dec]
+                elif fast_order == 4:
+                    dec = [
+                        (t.unissued_count + 3 * t.unresolved_branches,
+                         (t.tid - rr_offset) % n_threads, t)
+                        for t in candidates
+                    ]
+                    dec.sort()
+                    ordered = [d[2] for d in dec]
+                else:
+                    ordered = policy_order(
+                        candidates, cycle, rr_offset, n_threads,
+                        int_queue, fp_queue,
+                    )
+                selected = []
+                banks_used = set()
+                for thread in ordered:
+                    if len(selected) >= fetch_threads:
+                        break
+                    # Inlined phys_addr + bank_of; the translation is
+                    # carried along so the fetch loop below does not
+                    # repeat it for the same PC.
+                    pc = thread.fetch_pc
+                    page = pc >> page_shift
+                    frames = thread._frames
+                    frame = frames.get(page)
+                    if frame is None:
+                        frame = page ^ (
+                            (((page >> 3) * 1103515245
+                              + thread.tid * 12345) >> 4) & 7
+                        )
+                        frames[page] = frame
+                    phys = (thread.asid_offset + (frame << page_shift)
+                            + (pc & page_mask))
+                    bank = (phys >> icache_line_shift) % icache_banks
+                    if bank in banks_used:
+                        continue
+                    banks_used.add(bank)
+                    selected.append((thread, phys))
+                total_budget = min(fetch_width, buffer_room)
+                fetched_any = False
+                for thread, phys in selected:
+                    if total_budget <= 0:
+                        break
+                    # Inlined _fetch_from_thread.
+                    pc = thread.fetch_pc
+                    program = thread.program
+                    text_end = program._text_end
+                    if not TEXT_BASE <= pc < text_end or pc & 3:
+                        thread.fetch_blocked_until = BLOCKED
+                        continue
+                    line = phys >> 6
+                    if thread.pending_ifill_line == line:
+                        thread.pending_ifill_line = None
+                    elif not itag:
+                        access = ifetch(thread.tid, phys, cycle)
+                        if access.rejected:
+                            continue  # bank busy with a fill
+                        if not access.l1_hit:
+                            thread.fetch_blocked_until = access.ready_cycle
+                            thread.pending_ifill_line = line
+                            if measuring:
+                                stats.icache_miss_stall_events += 1
+                            continue
+                        if access.ready_cycle > cycle:
+                            thread.fetch_blocked_until = access.ready_cycle
+                            continue
+                    budget = (fetch_per_thread
+                              if fetch_per_thread < total_budget
+                              else total_budget)
+                    taken = 0
+                    tid = thread.tid
+                    rob_append = thread.rob.append
+                    instructions = program.instructions
+                    oracle_buf = thread._oracle_buf
+                    emu_step = thread.emulator.step
+                    while taken < budget:
+                        # Inlined program.fetch + _make_uop.
+                        if not TEXT_BASE <= pc < text_end or pc & 3:
+                            thread.fetch_blocked_until = BLOCKED
+                            break
+                        instr = instructions[(pc - TEXT_BASE) >> 2]
+                        seq = thread.next_seq
+                        if thread.on_correct_path:
+                            record = (oracle_buf.popleft() if oracle_buf
+                                      else emu_step())
+                            assert record.pc == pc, (
+                                f"oracle desync: thread {tid} fetching "
+                                f"{pc:#x}, oracle at {record.pc:#x}"
+                            )
+                            uop = Uop(
+                                tid, seq, pc, instr, False,
+                                record.taken, record.next_pc,
+                                record.eff_addr,
+                            )
+                            ea = record.eff_addr
+                            if ea is not None:
+                                thread.last_data_addr = ea
+                        else:
+                            ea = (
+                                thread.wrong_path_load_address(pc, seq)
+                                if instr.is_mem else None
+                            )
+                            uop = Uop(tid, seq, pc, instr, True,
+                                      eff_addr=ea)
+                        if ea is not None:
+                            uop.mem_key = (
+                                thread.phys_addr(ea) >> 3
+                            ) & dis_mask
+                        uop.fetch_c = cycle
+                        thread.next_seq = seq + 1
+                        fetch_append(uop)
+                        rob_append(uop)
+                        thread.unissued_count += 1
+                        is_control = uop.is_control
+                        if is_control:
+                            thread.unresolved_branches += 1
+                        if measuring:
+                            fetched_d += 1
+                            if uop.wrong_path:
+                                fetched_wp_d += 1
+                        taken += 1
+
+                        # Inlined _advance.
+                        if not is_control:
+                            next_pc = pc + 4
+                            block_ends = False
+                        else:
+                            wp = uop.wrong_path
+                            prediction = predictor_predict(
+                                tid, pc, instr,
+                                None if wp else uop.actual_taken,
+                                None if wp else uop.actual_target,
+                            )
+                            uop.prediction = prediction
+                            if prediction.resolve_at_exec:
+                                thread.fetch_blocked_until = BLOCKED
+                                uop.mispredicted = not wp
+                                if not wp:
+                                    thread.on_correct_path = False
+                                next_pc = pc + 4
+                                block_ends = True
+                            else:
+                                next_pc = (prediction.target
+                                           if prediction.taken
+                                           else pc + 4)
+                                if not wp and next_pc != uop.actual_target:
+                                    uop.mispredicted = True
+                                    thread.on_correct_path = False
+                                if prediction.redirect_at_decode:
+                                    thread.fetch_blocked_until = (
+                                        cycle + misfetch_penalty
+                                    )
+                                    block_ends = True
+                                else:
+                                    block_ends = prediction.taken
+                        thread.fetch_pc = next_pc
+                        pc = next_pc
+                        if block_ends:
+                            break
+                        if not pc % 64:  # cache-line boundary
+                            break
+                    total_budget -= taken
+                    if taken:
+                        fetched_any = True
+                if fetched_any and measuring:
+                    fetch_active_d += 1
+            rr_offset += 1
+            if rr_offset == n_threads:
+                rr_offset = 0
+
+            # ---------------- bookkeeping -----------------------------
+            if measuring:
+                cycles_d += 1
+                qpop_d += len(int_entries) + len(fp_entries)
+            if not cycle & 1023 and pending_exec:
+                gc_pending()
+            if not cycle & 255:
+                abort_hook = sim.abort_hook
+                if abort_hook is not None:
+                    abort_hook(sim)
+            cycle += 1
+    finally:
+        sim.cycle = cycle
+        fu.rr_offset = rr_offset
+        if measuring:
+            stats.cycles += cycles_d
+            stats.queue_population_sum += qpop_d
+            stats.committed += committed_d
+            stats.fetched_total += fetched_d
+            stats.fetched_wrong_path += fetched_wp_d
+            stats.fetch_cycles_active += fetch_active_d
+            stats.issued_total += issued_d
+            stats.issued_wrong_path += issued_wp_d
+            stats.int_iq_full_cycles += int_iq_full_d
+            stats.fp_iq_full_cycles += fp_iq_full_d
+            stats.out_of_registers_cycles += out_of_regs_d

@@ -25,6 +25,7 @@ and the Section 7 restricted-speculation constraints when enabled.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import TYPE_CHECKING, List
 
 from repro.core.uop import S_ISSUED, S_QUEUED, Uop
@@ -94,7 +95,9 @@ class IssueUnit:
     def _policy_key(self, cycle: int):
         policy = self.sim.cfg.issue_policy
         if policy == "OLDEST":
-            return lambda u: (u.dispatch_c, u.seq)
+            # attrgetter builds the same (dispatch_c, seq) tuple as the
+            # former lambda, without a Python-level frame per element.
+            return attrgetter("dispatch_c", "seq")
         if policy == "OPT_LAST":
             return lambda u: (self._is_optimistic(u, cycle), u.dispatch_c, u.seq)
         if policy == "SPEC_LAST":

@@ -66,7 +66,8 @@ class InstructionQueue:
         entries = self.entries
         for uop in entries:
             if uop.iq_freed:
-                self.entries = [u for u in entries if not u.iq_freed]
+                # In place: the fast-step loop binds this list once.
+                entries[:] = [u for u in entries if not u.iq_freed]
                 return
 
     def remove(self, uop: Uop) -> None:

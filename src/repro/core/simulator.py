@@ -114,6 +114,14 @@ class Watchdog:
 ABORT_CHECK_INTERVAL = 256
 
 
+def _fast_step_disabled() -> bool:
+    """Environment kill switch: REPRO_NO_FAST_STEP=1 forces the
+    reference step loop everywhere (used by the equivalence tests and
+    as an escape hatch while debugging)."""
+    import os
+    return os.environ.get("REPRO_NO_FAST_STEP", "") not in ("", "0")
+
+
 class ListenerChain:
     """Fan-out dispatcher for commit/squash listeners.
 
@@ -259,6 +267,9 @@ class Simulator:
         #: ABORT_CHECK_INTERVAL cycles with the simulator; raises
         #: :class:`SimulationAborted` to stop a runaway run.
         self.abort_hook = None
+        #: When False, :meth:`run_cycles` always uses the reference
+        #: :meth:`step` loop (also forced by REPRO_NO_FAST_STEP=1).
+        self.use_fast_step = True
         self.stats = Stats()
         self.cycle = 0
         self.measuring = False
@@ -340,7 +351,8 @@ class Simulator:
                 self._squash_after(branch, cycle)
             else:
                 remaining.append((branch, effective))
-        self.pending_squashes = remaining
+        # In place: the fast-step loop holds a binding to this list.
+        self.pending_squashes[:] = remaining
 
     def _squash_after(self, branch: Uop, cycle: int) -> None:
         """Squash everything younger than ``branch`` in its thread and
@@ -358,22 +370,20 @@ class Simulator:
             self._undo(rob.pop())
             squashed_any = True
         if squashed_any:
-            self.fetch_buffer = deque(
-                u for u in self.fetch_buffer if u.state != S_SQUASHED
-            )
-            self.decode_buffer = deque(
-                u for u in self.decode_buffer if u.state != S_SQUASHED
-            )
+            # All four containers are filtered *in place* so that long-lived
+            # bindings (the fast-step loop's locals) stay valid.
+            survivors = [u for u in self.fetch_buffer if u.state != S_SQUASHED]
+            self.fetch_buffer.clear()
+            self.fetch_buffer.extend(survivors)
+            survivors = [u for u in self.decode_buffer if u.state != S_SQUASHED]
+            self.decode_buffer.clear()
+            self.decode_buffer.extend(survivors)
             stores = self.pending_stores[branch.tid]
             if stores:
-                self.pending_stores[branch.tid] = [
-                    u for u in stores if u.state != S_SQUASHED
-                ]
+                stores[:] = [u for u in stores if u.state != S_SQUASHED]
             branches = self.pending_branches[branch.tid]
             if branches:
-                self.pending_branches[branch.tid] = [
-                    u for u in branches if u.state != S_SQUASHED
-                ]
+                branches[:] = [u for u in branches if u.state != S_SQUASHED]
         thread.on_correct_path = True
         thread.fetch_pc = branch.actual_target
         thread.fetch_blocked_until = cycle + (1 if self.cfg.itag else 0)
@@ -495,6 +505,32 @@ class Simulator:
         self.cycle += 1
 
     # ------------------------------------------------------------------
+    def run_cycles(self, n: int) -> None:
+        """Advance the machine by ``n`` cycles.
+
+        Dispatches to the specialized fast-step loop
+        (:mod:`repro.core.faststep`) when no per-cycle observer needs the
+        reference loop's cycle-granular hooks: telemetry sampling and the
+        sanitizer both inspect intermediate state every cycle, so their
+        presence forces the reference path.  Commit/squash listeners,
+        abort hooks, and adaptive fetch policies are all dispatched
+        faithfully inside the fast loop.  The two paths are bit-identical
+        (enforced by ``tests/core/test_faststep_equivalence.py``).
+        """
+        if n <= 0:
+            return
+        if (self.use_fast_step
+                and self.telemetry is None
+                and self.sanitizer is None
+                and not _fast_step_disabled()):
+            from repro.core.faststep import run_cycles_fast
+            run_cycles_fast(self, n)
+        else:
+            step = self.step
+            for _ in range(n):
+                step()
+
+    # ------------------------------------------------------------------
     def functional_warmup(self, instructions_per_thread: int = 60000,
                           chunk: int = 500) -> None:
         """Timing-free warmup: run each thread's emulator forward,
@@ -559,13 +595,11 @@ class Simulator:
         if functional_warmup_instructions and self.cycle == 0:
             self.functional_warmup(functional_warmup_instructions)
         self.measuring = False
-        for _ in range(warmup_cycles):
-            self.step()
+        self.run_cycles(warmup_cycles)
         self.measuring = True
         self.stats = Stats()
         self.hierarchy.reset_stats()
-        for _ in range(measure_cycles):
-            self.step()
+        self.run_cycles(measure_cycles)
         self.measuring = False
         return self.result()
 

@@ -20,11 +20,23 @@ Knobs, in precedence order:
 * :func:`configure` (set by the CLI's ``--jobs`` / ``--no-cache``),
 * the ``REPRO_JOBS`` and ``REPRO_NO_CACHE`` environment variables,
 * defaults: serial, cache enabled.
+
+The engine keeps one **persistent worker pool** alive across batches
+(re-forked only when the worker count or the warm-image store changes)
+and amortises functional warmup through the process-level warm-image
+store of :mod:`repro.workloads.images`: a batch's distinct warm states
+are computed once in the pool parent, inherited copy-on-write by every
+forked worker, and replayed per run instead of re-emulated.  Both are
+transparent — results stay bit-identical to the reference
+:func:`run_spec` path (``REPRO_NO_WARM_IMAGES=1`` forces it).
 """
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
+import hashlib
+import json
 import multiprocessing
 import os
 import sys
@@ -48,6 +60,7 @@ from repro.experiments.cache import (
     cache_enabled_by_default,
     result_key,
 )
+from repro.workloads import images
 from repro.workloads.mixes import standard_mix
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -124,6 +137,77 @@ def run_spec(spec: RunSpec, watchdog: Any = None) -> SimResult:
         measure_cycles=budget.measure_cycles,
         functional_warmup_instructions=budget.functional_warmup_instructions,
     )
+
+
+# ----------------------------------------------------------------------
+# Warm-image integration.
+# ----------------------------------------------------------------------
+def warm_key(spec: RunSpec) -> str:
+    """Identity of a spec's *warm state* (narrower than ``spec.key()``).
+
+    Functional warmup reads only the workload and the config, so the
+    timed-window budget, the MSHR override, and the sanitizer flag are
+    deliberately excluded: runs differing only in those share one image.
+    """
+    payload = {
+        "config": dataclasses.asdict(spec.config),
+        "rotation": spec.rotation,
+        "seed": spec.seed,
+        "warm_instructions": spec.budget.functional_warmup_instructions,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def run_spec_fast(spec: RunSpec, watchdog: Any = None) -> SimResult:
+    """:func:`run_spec`, but warmed through the process warm-image store.
+
+    Bit-identical to :func:`run_spec` (functional warmup is timing-free
+    and deterministic; ``tests/workloads/test_images.py`` holds the
+    equality).  Falls back to the reference path when images are
+    disabled or the spec does no functional warmup.
+    """
+    budget = spec.budget
+    n_warm = budget.functional_warmup_instructions
+    if not n_warm or not images.images_enabled():
+        return run_spec(spec, watchdog)
+    sim = build_simulator(spec)
+    if spec.check_invariants:
+        from repro.verify.sanitizer import PipelineSanitizer
+        PipelineSanitizer(sim)
+    if watchdog is not None:
+        watchdog.attach(sim)
+    images.warm_via_image(sim, warm_key(spec), n_warm)
+    return sim.run(
+        warmup_cycles=budget.warmup_cycles,
+        measure_cycles=budget.measure_cycles,
+        functional_warmup_instructions=0,
+    )
+
+
+def _ensure_images(specs: Sequence[RunSpec]) -> None:
+    """Precompute the batch's warm images in the pool *parent*.
+
+    Run before forking workers so every worker inherits the images
+    copy-on-write — each distinct warm state is computed exactly once
+    per process, no matter how the batch is sharded.
+    """
+    if not images.images_enabled():
+        return
+    seen = set()
+    for spec in specs:
+        n_warm = spec.budget.functional_warmup_instructions
+        if not n_warm:
+            continue
+        key = warm_key(spec)
+        if key in seen:
+            continue
+        seen.add(key)
+        if images.lookup(key) is not None:
+            continue
+        sim = build_simulator(spec)
+        sim.functional_warmup(n_warm)
+        images.put(key, images.capture(sim, n_warm))
 
 
 # ----------------------------------------------------------------------
@@ -259,6 +343,45 @@ def _pool(processes: int):
     return ctx.Pool(processes=processes)
 
 
+# The persistent pool: forked once and reused across batches instead of
+# paying pool construction + interpreter-state duplication per
+# ``execute_runs`` call.  The pool is re-forked only when its shape no
+# longer matches — a different worker count, or a warm-image store that
+# has grown since the fork (workers read images copy-on-write, so a
+# stale fork would re-warm from scratch inside every worker).
+_worker_pool = None
+_worker_pool_state: Optional[tuple] = None
+
+
+def _persistent_pool(processes: int):
+    global _worker_pool, _worker_pool_state
+    state = (processes, images.generation())
+    if _worker_pool is not None:
+        if _worker_pool_state == state:
+            return _worker_pool
+        shutdown_pool()
+    _worker_pool = _pool(processes)
+    _worker_pool_state = state
+    return _worker_pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (idempotent).
+
+    Called automatically at interpreter exit and on Ctrl-C; tests call
+    it directly to assert a clean slate.
+    """
+    global _worker_pool, _worker_pool_state
+    if _worker_pool is not None:
+        _worker_pool.terminate()
+        _worker_pool.join()
+        _worker_pool = None
+        _worker_pool_state = None
+
+
+atexit.register(shutdown_pool)
+
+
 # ----------------------------------------------------------------------
 # The engine.
 # ----------------------------------------------------------------------
@@ -338,31 +461,38 @@ def execute_runs(
     miss_specs = [specs[i] for i in order]
     if miss_specs:
         if jobs > 1 and len(miss_specs) > 1:
-            pool_cm = _pool(min(jobs, len(miss_specs)))
+            # Warm images are computed here, in the parent, so the fork
+            # below hands every worker the batch's warm states for free.
+            _ensure_images(miss_specs)
+            procs = min(jobs, len(miss_specs))
+            pool = _persistent_pool(procs)
+            # Adaptive chunking: amortise dispatch IPC for big batches
+            # while keeping at least four waves per worker so progress
+            # stays live and stragglers re-balance.
+            chunk = max(1, len(miss_specs) // (procs * 4))
             try:
-                with pool_cm as pool:
-                    completions = pool.imap(run_spec, miss_specs,
-                                            chunksize=1)
-                    # Consumed inside the with-block: imap yields lazily.
-                    for i, result in zip(order, completions):
-                        for j in pending[keys[i]]:
-                            results[j] = result
-                        if cache is not None:
-                            cache.put(keys[i], result)
-                        completed += len(pending[keys[i]])
-                        report()
+                completions = pool.imap(run_spec_fast, miss_specs,
+                                        chunksize=chunk)
+                # imap yields lazily and in order, so results stream
+                # into the cache as workers finish.
+                for i, result in zip(order, completions):
+                    for j in pending[keys[i]]:
+                        results[j] = result
+                    if cache is not None:
+                        cache.put(keys[i], result)
+                    completed += len(pending[keys[i]])
+                    report()
             except KeyboardInterrupt:
                 # Ctrl-C mid-batch: kill workers promptly (terminate,
                 # then join so no children leak) and emit a final
                 # partial snapshot — completed runs are already in the
                 # cache, so a rerun resumes from them.
-                pool_cm.terminate()
-                pool_cm.join()
+                shutdown_pool()
                 report()
                 raise
         else:
             for i in order:
-                result = run_spec(specs[i])
+                result = run_spec_fast(specs[i])
                 for j in pending[keys[i]]:
                     results[j] = result
                 if cache is not None:

@@ -8,14 +8,24 @@ and resolved at the execute stage) and the true effective address of memory
 operations (so the cache hierarchy sees the program's real access stream).
 
 The emulator is deterministic: same program, same sequence of records.
+
+Execution strategy: the first emulator built for a program compiles one
+handler closure per *static* instruction (operands, immediates and the
+fall-through PC bound as closure constants), cached per program so every
+thread context and every warmup replay reuses them.  Static instructions
+whose operand pattern falls outside the assembler's conventions get no
+handler and fall back to :meth:`Emulator._step_interpreted`, the original
+if/elif interpreter, which remains the semantic reference (the equivalence
+tests run both and compare record streams).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import weakref
+from typing import Dict, List, Optional
 
-from repro.isa.instructions import Instruction, Opcode
-from repro.isa.program import DATA_BASE, INSTR_BYTES, Program
+from repro.isa.instructions import Instruction, Opcode, RegFile
+from repro.isa.program import DATA_BASE, INSTR_BYTES, TEXT_BASE, Program
 
 _MASK64 = (1 << 64) - 1
 _SIGN64 = 1 << 63
@@ -58,6 +68,344 @@ class EmulatorError(Exception):
     """Raised when architectural execution goes somewhere undefined."""
 
 
+# ----------------------------------------------------------------------
+# Per-program compiled handler tables.  Kept out of Program.__dict__ so
+# program images stay picklable; a weak key keeps the table alive exactly
+# as long as its program.
+# ----------------------------------------------------------------------
+_HANDLER_CACHE: "weakref.WeakKeyDictionary[Program, list]" = (
+    weakref.WeakKeyDictionary()
+)
+
+# Pure int ALU register-register expressions (int rd, int rs1, int rs2).
+# Each lambda receives the int register file and the two source indices
+# and returns the raw (unmasked) result.
+_INT_RRR = {
+    Opcode.ADD: lambda ir, a, b: ir[a] + ir[b],
+    Opcode.SUB: lambda ir, a, b: ir[a] - ir[b],
+    Opcode.AND: lambda ir, a, b: ir[a] & ir[b],
+    Opcode.OR: lambda ir, a, b: ir[a] | ir[b],
+    Opcode.XOR: lambda ir, a, b: ir[a] ^ ir[b],
+    Opcode.SLL: lambda ir, a, b: ir[a] << (ir[b] & 63),
+    Opcode.SRL: lambda ir, a, b: (ir[a] & _MASK64) >> (ir[b] & 63),
+    Opcode.SRA: lambda ir, a, b: _to_signed(ir[a]) >> (ir[b] & 63),
+    Opcode.MUL: lambda ir, a, b: ir[a] * ir[b],
+    Opcode.MULQ: lambda ir, a, b: ir[a] * ir[b],
+    Opcode.CMPEQ: lambda ir, a, b: int(ir[a] == ir[b]),
+    Opcode.CMPLT: lambda ir, a, b: int(_to_signed(ir[a]) < _to_signed(ir[b])),
+    Opcode.CMPLE: lambda ir, a, b: int(_to_signed(ir[a]) <= _to_signed(ir[b])),
+    Opcode.CMOVZ: lambda ir, a, b: ir[b] if ir[a] == 0 else 0,
+    Opcode.CMOVNZ: lambda ir, a, b: ir[b] if ir[a] != 0 else 0,
+}
+
+# Int ALU register-immediate expressions (int rd, int rs1, imm).
+_INT_RRI = {
+    Opcode.ADDI: lambda ir, a, imm: ir[a] + imm,
+    Opcode.ANDI: lambda ir, a, imm: ir[a] & imm,
+    Opcode.ORI: lambda ir, a, imm: ir[a] | imm,
+    Opcode.XORI: lambda ir, a, imm: ir[a] ^ imm,
+    Opcode.SLLI: lambda ir, a, imm: ir[a] << (imm & 63),
+    Opcode.SRLI: lambda ir, a, imm: (ir[a] & _MASK64) >> (imm & 63),
+}
+
+# FP arithmetic with an FP destination (fp rd, fp rs1[, fp rs2]).
+_FP_OPS = {
+    Opcode.FADD: lambda fr, a, b: fr[a] + fr[b],
+    Opcode.FSUB: lambda fr, a, b: fr[a] - fr[b],
+    Opcode.FMUL: lambda fr, a, b: fr[a] * fr[b],
+    Opcode.FDIV: lambda fr, a, b: fr[a] / fr[b] if fr[b] != 0.0 else 0.0,
+    Opcode.FDIVD: lambda fr, a, b: fr[a] / fr[b] if fr[b] != 0.0 else 0.0,
+    Opcode.FCVT: lambda fr, a, b: float(int(fr[a])),
+    Opcode.FMOV: lambda fr, a, b: fr[a],
+}
+
+
+def _make_handler(instr, pc, data_size, text_end, words_get):
+    """Compile one static instruction into a step closure, or return
+    ``None`` if its operand pattern is unusual (interpreter fallback).
+
+    Every closure reproduces exactly the interpreter's semantics: same
+    register-write masking, same address wrapping, same record fields,
+    same error messages.
+    """
+    op = instr.opcode
+    np = pc + INSTR_BYTES
+    rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+    target = instr.target
+    R = OracleRecord
+
+    if op in _INT_RRR:
+        if (rd is None or rs1 is None or rs2 is None
+                or instr.rd_file is not RegFile.INT):
+            return None
+        expr = _INT_RRR[op]
+        # FCMP shares the shape but reads FP sources; handled separately.
+        if instr.rs1_file is not RegFile.INT or instr.rs2_file is not RegFile.INT:
+            return None
+        if rd != 0:
+            def h(self, _e=expr, _pc=pc, _np=np, _i=instr, _rd=rd,
+                  _a=rs1, _b=rs2, _R=R, _M=_MASK64):
+                ir = self.int_regs
+                ir[_rd] = _e(ir, _a, _b) & _M
+                r = _R(self.instret, _pc, _i, _np, False, None)
+                self.pc = _np
+                self.instret += 1
+                return r
+        else:
+            def h(self, _e=expr, _pc=pc, _np=np, _i=instr,
+                  _a=rs1, _b=rs2, _R=R):
+                ir = self.int_regs
+                _e(ir, _a, _b)  # r0 is hardwired to zero
+                r = _R(self.instret, _pc, _i, _np, False, None)
+                self.pc = _np
+                self.instret += 1
+                return r
+        return h
+
+    if op in _INT_RRI:
+        if (rd is None or rs1 is None
+                or instr.rd_file is not RegFile.INT
+                or instr.rs1_file is not RegFile.INT):
+            return None
+        expr = _INT_RRI[op]
+
+        def h(self, _e=expr, _pc=pc, _np=np, _i=instr, _rd=rd,
+              _a=rs1, _imm=imm, _R=R, _M=_MASK64):
+            ir = self.int_regs
+            if _rd:
+                ir[_rd] = _e(ir, _a, _imm) & _M
+            r = _R(self.instret, _pc, _i, _np, False, None)
+            self.pc = _np
+            self.instret += 1
+            return r
+        return h
+
+    if op is Opcode.LI:
+        if rd is None or instr.rd_file is not RegFile.INT:
+            return None
+        value = imm & _MASK64
+
+        def h(self, _pc=pc, _np=np, _i=instr, _rd=rd, _v=value, _R=R):
+            if _rd:
+                self.int_regs[_rd] = _v
+            r = _R(self.instret, _pc, _i, _np, False, None)
+            self.pc = _np
+            self.instret += 1
+            return r
+        return h
+
+    if op in _FP_OPS:
+        if rd is None or rs1 is None or instr.rd_file is not RegFile.FP:
+            return None
+        if op in (Opcode.FCVT, Opcode.FMOV):
+            if instr.rs1_file is not RegFile.FP:
+                return None
+            b = rs1  # unused second operand
+        else:
+            if (rs2 is None or instr.rs1_file is not RegFile.FP
+                    or instr.rs2_file is not RegFile.FP):
+                return None
+            b = rs2
+        expr = _FP_OPS[op]
+
+        def h(self, _e=expr, _pc=pc, _np=np, _i=instr, _rd=rd,
+              _a=rs1, _b=b, _R=R):
+            fr = self.fp_regs
+            fr[_rd] = float(_e(fr, _a, _b))
+            r = _R(self.instret, _pc, _i, _np, False, None)
+            self.pc = _np
+            self.instret += 1
+            return r
+        return h
+
+    if op is Opcode.FCMP:
+        # FP compare writes an *integer* destination (assembler rule).
+        if (rd is None or rs1 is None or rs2 is None
+                or instr.rd_file is not RegFile.INT
+                or instr.rs1_file is not RegFile.FP
+                or instr.rs2_file is not RegFile.FP):
+            return None
+
+        def h(self, _pc=pc, _np=np, _i=instr, _rd=rd, _a=rs1, _b=rs2, _R=R):
+            fr = self.fp_regs
+            if _rd:
+                self.int_regs[_rd] = int(fr[_a] < fr[_b])
+            r = _R(self.instret, _pc, _i, _np, False, None)
+            self.pc = _np
+            self.instret += 1
+            return r
+        return h
+
+    if op is Opcode.LD:
+        if (rd is None or rs1 is None
+                or instr.rd_file is not RegFile.INT
+                or instr.rs1_file is not RegFile.INT):
+            return None
+
+        def h(self, _pc=pc, _np=np, _i=instr, _rd=rd, _a=rs1, _imm=imm,
+              _R=R, _M=_MASK64, _D=DATA_BASE, _sz=data_size, _get=words_get):
+            ir = self.int_regs
+            addr = _D + ((ir[_a] + _imm - _D) % _sz & ~0x7)
+            mem = self._mem
+            v = mem[addr] if addr in mem else _get(addr, 0)
+            if _rd:
+                ir[_rd] = v & _M
+            r = _R(self.instret, _pc, _i, _np, False, addr)
+            self.pc = _np
+            self.instret += 1
+            return r
+        return h
+
+    if op is Opcode.FLD:
+        if (rd is None or rs1 is None
+                or instr.rd_file is not RegFile.FP
+                or instr.rs1_file is not RegFile.INT):
+            return None
+
+        def h(self, _pc=pc, _np=np, _i=instr, _rd=rd, _a=rs1, _imm=imm,
+              _R=R, _M=_MASK64, _S=_SIGN64, _D=DATA_BASE, _sz=data_size,
+              _get=words_get):
+            addr = _D + ((self.int_regs[_a] + _imm - _D) % _sz & ~0x7)
+            fmem = self._fmem
+            if addr in fmem:
+                v = fmem[addr]
+            else:
+                mem = self._mem
+                w = (mem[addr] if addr in mem else _get(addr, 0)) & _M
+                v = float(w - (1 << 64) if w & _S else w)
+            self.fp_regs[_rd] = v
+            r = _R(self.instret, _pc, _i, _np, False, addr)
+            self.pc = _np
+            self.instret += 1
+            return r
+        return h
+
+    if op is Opcode.ST:
+        if (rs1 is None or rs2 is None
+                or instr.rs1_file is not RegFile.INT
+                or instr.rs2_file is not RegFile.INT):
+            return None
+
+        def h(self, _pc=pc, _np=np, _i=instr, _a=rs1, _b=rs2, _imm=imm,
+              _R=R, _M=_MASK64, _D=DATA_BASE, _sz=data_size):
+            ir = self.int_regs
+            addr = _D + ((ir[_a] + _imm - _D) % _sz & ~0x7)
+            self._mem[addr] = ir[_b] & _M
+            r = _R(self.instret, _pc, _i, _np, False, addr)
+            self.pc = _np
+            self.instret += 1
+            return r
+        return h
+
+    if op is Opcode.FST:
+        if (rs1 is None or rs2 is None
+                or instr.rs1_file is not RegFile.INT
+                or instr.rs2_file is not RegFile.FP):
+            return None
+
+        def h(self, _pc=pc, _np=np, _i=instr, _a=rs1, _b=rs2, _imm=imm,
+              _R=R, _D=DATA_BASE, _sz=data_size):
+            addr = _D + ((self.int_regs[_a] + _imm - _D) % _sz & ~0x7)
+            self._fmem[addr] = self.fp_regs[_b]
+            r = _R(self.instret, _pc, _i, _np, False, addr)
+            self.pc = _np
+            self.instret += 1
+            return r
+        return h
+
+    if op in (Opcode.BEQZ, Opcode.BNEZ):
+        if (rs1 is None or target is None
+                or instr.rs1_file is not RegFile.INT):
+            return None
+        want_zero = op is Opcode.BEQZ
+
+        def h(self, _pc=pc, _np=np, _i=instr, _a=rs1, _t=target,
+              _z=want_zero, _R=R):
+            taken = (self.int_regs[_a] == 0) == _z
+            r = _R(self.instret, _pc, _i, _t if taken else _np, taken, None)
+            self.pc = _t if taken else _np
+            self.instret += 1
+            return r
+        return h
+
+    if op is Opcode.J:
+        if target is None:
+            return None
+
+        def h(self, _pc=pc, _i=instr, _t=target, _R=R):
+            r = _R(self.instret, _pc, _i, _t, True, None)
+            self.pc = _t
+            self.instret += 1
+            return r
+        return h
+
+    if op is Opcode.JAL:
+        if rd is None or target is None or instr.rd_file is not RegFile.INT:
+            return None
+
+        def h(self, _pc=pc, _np=np, _i=instr, _rd=rd, _t=target, _R=R):
+            if _rd:
+                self.int_regs[_rd] = _np  # return address (pc + 4 < 2**64)
+            r = _R(self.instret, _pc, _i, _t, True, None)
+            self.pc = _t
+            self.instret += 1
+            return r
+        return h
+
+    if op in (Opcode.JR, Opcode.RET):
+        if rs1 is None or instr.rs1_file is not RegFile.INT:
+            return None
+
+        def h(self, _pc=pc, _i=instr, _a=rs1, _R=R, _M=_MASK64,
+              _T=TEXT_BASE, _end=text_end):
+            nxt = self.int_regs[_a] & _M
+            if nxt % INSTR_BYTES or not _T <= nxt < _end:
+                raise EmulatorError(
+                    f"indirect jump at {_pc:#x} to invalid target {nxt:#x}"
+                )
+            r = _R(self.instret, _pc, _i, nxt, True, None)
+            self.pc = nxt
+            self.instret += 1
+            return r
+        return h
+
+    if op is Opcode.NOP:
+
+        def h(self, _pc=pc, _np=np, _i=instr, _R=R):
+            r = _R(self.instret, _pc, _i, _np, False, None)
+            self.pc = _np
+            self.instret += 1
+            return r
+        return h
+
+    if op is Opcode.HALT:
+
+        def h(self, _pc=pc, _np=np, _i=instr, _R=R):
+            self.halted = True
+            r = _R(self.instret, _pc, _i, _np, False, None)
+            self.pc = _np
+            self.instret += 1
+            return r
+        return h
+
+    return None
+
+
+def _compile_handlers(program: Program) -> List:
+    """One handler per static instruction (``None`` = interpret)."""
+    data_size = max(program.data.size, 8)
+    words_get = program.data.words.get
+    text_end = program.text_end
+    handlers = []
+    pc = TEXT_BASE
+    for instr in program.instructions:
+        handlers.append(
+            _make_handler(instr, pc, data_size, text_end, words_get)
+        )
+        pc += INSTR_BYTES
+    return handlers
+
+
 class Emulator:
     """Architectural interpreter for one program (one thread).
 
@@ -80,6 +428,11 @@ class Emulator:
         self.instret = 0  # architecturally retired instruction count
         data = program.data
         self._data_size = max(data.size, 8)
+        handlers = _HANDLER_CACHE.get(program)
+        if handlers is None:
+            handlers = _compile_handlers(program)
+            _HANDLER_CACHE[program] = handlers
+        self._handlers = handlers
 
     # ------------------------------------------------------------------
     # Memory helpers.  Addresses are wrapped into the data region so that
@@ -111,6 +464,27 @@ class Emulator:
     # ------------------------------------------------------------------
     def step(self) -> OracleRecord:
         """Execute one instruction; return its oracle record."""
+        if self.halted:
+            raise EmulatorError("stepping a halted emulator")
+        pc = self.pc
+        idx = (pc - TEXT_BASE) >> 2
+        handlers = self._handlers
+        if pc & 3 or not 0 <= idx < len(handlers):
+            raise EmulatorError(
+                f"architectural PC {pc:#x} outside text segment"
+            )
+        h = handlers[idx]
+        if h is None:
+            return self._step_interpreted()
+        return h(self)
+
+    # ------------------------------------------------------------------
+    def _step_interpreted(self) -> OracleRecord:
+        """Reference interpreter: one instruction via the if/elif chain.
+
+        Semantics source of truth; the compiled handlers must match this
+        bit for bit (see ``tests/isa/test_emulator_compiled.py``).
+        """
         if self.halted:
             raise EmulatorError("stepping a halted emulator")
         pc = self.pc

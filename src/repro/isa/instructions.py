@@ -218,6 +218,12 @@ class Instruction:
         if self.rs2 is not None:
             srcs.append((self.rs2, self.rs2_file))
         cache(self, "_sources", tuple(srcs))
+        # Rename-stage fast path: the (logical, is_fp) pairs and the
+        # destination file as plain bools, so the per-uop rename loop
+        # never touches the RegFile enum.
+        cache(self, "_sources_fp",
+              tuple((reg, rf is RegFile.FP) for reg, rf in srcs))
+        cache(self, "_rd_is_fp", self.rd_file is RegFile.FP)
 
     def sources(self) -> Tuple[Tuple[int, RegFile], ...]:
         """Return the (register, regfile) pairs this instruction reads."""

@@ -48,6 +48,16 @@ class BankedCache:
         self.params = params
         self.n_sets = params.n_sets
         self._line_shift = params.line_size.bit_length() - 1
+        # Hot-path constants, denormalised out of the params dataclass
+        # (attribute chains through a frozen dataclass cost two lookups
+        # per access in code that runs millions of times per run).
+        self._banks = params.banks
+        self._assoc = params.assoc
+        self._apc_ge1 = params.accesses_per_cycle >= 1
+        self._apc = params.accesses_per_cycle
+        self._slow_interval = (
+            0 if self._apc_ge1 else round(1 / params.accesses_per_cycle)
+        )
         # Per-set LRU-ordered tag lists (most recent last).
         self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
         # Bank -> earliest cycle the bank can take another access
@@ -97,7 +107,23 @@ class BankedCache:
         return self.line_of(addr) in tags
 
     def bank_free_at(self, addr: int, cycle: int) -> bool:
-        bank = self.bank_of(addr)
+        bank = (addr >> self._line_shift) % self._banks
+        if self._bank_free[bank] > cycle:
+            return False
+        for start, end in self._fill_windows[bank]:
+            if start <= cycle < end:
+                return False
+        return True
+
+    def can_accept(self, addr: int, cycle: int) -> bool:
+        """``port_available(cycle) and bank_free_at(addr, cycle)`` fused
+        into one call for the hierarchy's hot path."""
+        if self._apc_ge1:
+            if self._port_grants.get(cycle, 0) >= self._apc:
+                return False
+        elif self._bank_free[0] > cycle:
+            return False
+        bank = (addr >> self._line_shift) % self._banks
         if self._bank_free[bank] > cycle:
             return False
         for start, end in self._fill_windows[bank]:
@@ -106,19 +132,17 @@ class BankedCache:
         return True
 
     def port_available(self, cycle: int) -> bool:
-        apc = self.params.accesses_per_cycle
-        if apc >= 1:
-            return self._port_grants.get(cycle, 0) < apc
+        if self._apc_ge1:
+            return self._port_grants.get(cycle, 0) < self._apc
         # Fractional rate: at most one access per 1/apc cycles, enforced
         # through bank 0's free time (single-banked slow caches).
         return self._bank_free[0] <= cycle
 
     def grant_port(self, cycle: int) -> None:
-        apc = self.params.accesses_per_cycle
-        if apc >= 1:
+        if self._apc_ge1:
             self._port_grants[cycle] = self._port_grants.get(cycle, 0) + 1
         else:
-            self._bank_free[0] = cycle + round(1 / apc)
+            self._bank_free[0] = cycle + self._slow_interval
 
     # ------------------------------------------------------------------
     def lookup(self, addr: int, cycle: int) -> bool:
@@ -126,10 +150,12 @@ class BankedCache:
         occupies the bank for this cycle.  Does not handle the miss —
         the hierarchy does that."""
         self.accesses += 1
-        bank = self.bank_of(addr)
-        self._bank_free[bank] = max(self._bank_free[bank], cycle + 1)
-        sset = self._sets[self._set_of(addr)]
-        line = self.line_of(addr)
+        line = addr >> self._line_shift
+        bank = line % self._banks
+        bank_free = self._bank_free
+        if bank_free[bank] <= cycle:
+            bank_free[bank] = cycle + 1
+        sset = self._sets[line % self.n_sets]
         if line in sset:
             sset.remove(line)
             sset.append(line)  # LRU touch
@@ -159,7 +185,7 @@ class BankedCache:
         When ``cycle`` is given, an entry whose fill already landed is
         retired on the spot (the line is installed, so a fresh lookup
         will hit)."""
-        line = self.line_of(addr)
+        line = addr >> self._line_shift
         ready = self.outstanding.get(line)
         if ready is None:
             return None

@@ -34,7 +34,7 @@ from repro.memory.cache import BankedCache, CacheParams
 from repro.memory.tlb import TLB
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of a data-side access."""
 
@@ -107,7 +107,7 @@ class MemoryHierarchy:
                 return in_flight + params.transfer_time
             # Queue for the port/bank.
             start = cycle
-            while not (cache.port_available(start) and cache.bank_free_at(addr, start)):
+            while not cache.can_accept(addr, start):
                 start += 1
             cache.grant_port(start)
         else:
@@ -133,12 +133,11 @@ class MemoryHierarchy:
     def _l1_access(
         self, cache: BankedCache, tlb: TLB, tid: int, addr: int, cycle: int
     ) -> AccessResult:
-        self._tick_housekeeping(cycle)
+        if cycle - self._last_expire >= 1024:
+            self._tick_housekeeping(cycle)
         params = cache.params
         if not self.infinite_bandwidth:
-            if not cache.port_available(cycle):
-                return AccessResult(False, cycle + 1, rejected=True)
-            if not cache.bank_free_at(addr, cycle):
+            if not cache.can_accept(addr, cycle):
                 return AccessResult(False, cycle + 1, rejected=True)
 
         tlb_penalty = 0

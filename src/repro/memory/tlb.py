@@ -34,14 +34,15 @@ class TLB:
         On a miss the entry is installed (the hierarchy accounts the
         two-memory-access penalty)."""
         self.accesses += 1
-        key = (tid, self.page_of(addr))
-        if key in self._map:
-            self._map.move_to_end(key)
+        key = (tid, addr >> self.page_shift)
+        amap = self._map
+        if key in amap:
+            amap.move_to_end(key)
             return True
         self.misses += 1
-        if len(self._map) >= self.entries:
-            self._map.popitem(last=False)
-        self._map[key] = True
+        if len(amap) >= self.entries:
+            amap.popitem(last=False)
+        amap[key] = True
         return False
 
     @property

@@ -140,7 +140,8 @@ class TestSanitizedRuns:
         def broken_run_spec(spec):
             raise InvariantViolation("iq-overflow", "boom", 7, tid=1)
 
-        monkeypatch.setattr(parallel_module, "run_spec", broken_run_spec)
+        monkeypatch.setattr(parallel_module, "run_spec_fast",
+                            broken_run_spec)
         with pytest.raises(InvariantViolation) as excinfo:
             execute_runs(_specs()[:1], jobs=1, use_cache=False)
         assert excinfo.value.invariant == "iq-overflow"

@@ -1,167 +1,39 @@
 #!/usr/bin/env python
 """Measure simulator speed and experiment-engine speedups.
 
-Measurements, written to ``BENCH_speed.json`` alongside enough metadata
-(git SHA, python version, cpu count) to compare runs across commits:
+Thin shim over :mod:`repro.perf.collect` (the measurement methodology
+is documented there): runs the core fast-vs-reference benchmark and
+the Figure 3 serial/pooled/warm-cache sweep, writes the legacy
+``BENCH_speed.json`` layout, and **exits non-zero when the parallel
+sweep is slower than serial** (parallel_speedup < 1) so that
+regression can never land silently.
 
-1. ``core_cycles_per_sec`` — inner-loop speed of the fast-step path:
-   timed ``run_cycles`` of an ICOUNT.2.8 machine at 8 threads, the hot
-   loop every experiment spends its time in.  A warmup pass precedes
-   timing and the figure is the **median of ≥3 repetitions**,
-   interleaved A/B with the reference ``step()`` path so host noise
-   hits both alike (``reference_cycles_per_sec``,
-   ``fast_vs_reference_speedup``).
-2. ``figure3_serial_s`` / ``figure3_jobs_s`` — wall time for the
-   REPRO_FAST Figure 3 sweep run serially vs on the persistent worker
-   pool (``--jobs``, default ``min(4, cpu_count)``), both with a cold
-   result cache.  The serial sweep populates the process warm-image
-   store, so the pooled sweep (forked afterwards) inherits every warm
-   state copy-on-write — the speedup measures the engine as campaigns
-   actually experience it: pool reuse + warmup amortisation, not just
-   core parallelism.
-3. ``figure3_warm_cache_s`` — the same sweep replayed from the
-   persistent result cache.
+Sweeps use throwaway cache directories passed to the engine as
+explicit ``ResultCache`` objects — the benchmark neither reads nor
+pollutes the user's real cache, and ``REPRO_CACHE_DIR`` is never
+mutated.  ``--jobs`` defaults to ``max(2, min(4, cpu_count))`` so the
+pooled path is always exercised.
 
-The benchmark **exits non-zero when the parallel sweep is slower than
-serial** (parallel_speedup < 1), so that regression can never land
-silently; each sweep uses a throwaway cache directory so the benchmark
-neither reads nor pollutes the user's real cache.
+For per-commit tracking, prefer ``python -m repro perf record`` — it
+stores the same measurements as a schema-versioned profile keyed by
+git SHA, and ``repro perf check`` judges them against the trend.
 
 Run:  PYTHONPATH=src python scripts/bench_speed.py [--quick] [--jobs N]
 """
 
 import argparse
 import json
-import multiprocessing
-import os
-import platform
-import shutil
-import statistics
-import subprocess
 import sys
-import tempfile
-import time
 
-from repro.core.config import scheme
-from repro.core.simulator import Simulator
-from repro.experiments import figures, parallel
-from repro.experiments.cache import ResultCache
-from repro.experiments.runner import RunBudget
-from repro.workloads import images
-from repro.workloads.mixes import standard_mix
-
-FAST_BUDGET = RunBudget(warmup_cycles=1000, measure_cycles=8000,
-                        functional_warmup_instructions=30000, rotations=1)
-QUICK_BUDGET = RunBudget(warmup_cycles=500, measure_cycles=3000,
-                         functional_warmup_instructions=15000, rotations=1)
-
-
-def collect_metadata() -> dict:
-    sha = None
-    try:
-        proc = subprocess.run(
-            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
-            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        )
-        if proc.returncode == 0:
-            sha = proc.stdout.strip()
-    except OSError:
-        pass
-    return {
-        "git_sha": sha,
-        "python": platform.python_version(),
-        "implementation": platform.python_implementation(),
-        "host_cpus": multiprocessing.cpu_count(),
-        "platform": platform.platform(),
-    }
-
-
-def bench_core(steps: int, reps: int, warm_instructions: int) -> dict:
-    """Median cycles/second of the simulator inner loop, fast vs reference.
-
-    One long-lived simulator per path; repetitions are interleaved
-    fast/reference so drift in host load lands on both paths equally.
-    """
-    config = scheme("ICOUNT", 2, 8, n_threads=8)
-
-    def make(fast: bool) -> Simulator:
-        sim = Simulator(config, standard_mix(8, 0))
-        sim.use_fast_step = fast
-        sim.functional_warmup(warm_instructions)
-        sim.run_cycles(500)  # warmup pass: settle the pipeline, warm dicts
-        return sim
-
-    sims = {"fast": make(True), "reference": make(False)}
-    times = {"fast": [], "reference": []}
-    for _ in range(max(3, reps)):
-        for label, sim in sims.items():
-            t0 = time.perf_counter()
-            sim.run_cycles(steps)
-            times[label].append(time.perf_counter() - t0)
-
-    fast_med = statistics.median(times["fast"])
-    ref_med = statistics.median(times["reference"])
-    return {
-        "steps": steps,
-        "reps": max(3, reps),
-        "fast_rep_seconds": [round(t, 3) for t in times["fast"]],
-        "reference_rep_seconds": [round(t, 3) for t in times["reference"]],
-        "core_cycles_per_sec": round(steps / fast_med, 1),
-        "reference_cycles_per_sec": round(steps / ref_med, 1),
-        "fast_vs_reference_speedup": round(ref_med / fast_med, 2),
-    }
-
-
-def bench_figure3(jobs: int, budget: RunBudget) -> dict:
-    """Figure 3 sweep: serial cold, parallel cold, then warm cache."""
-    times = {}
-
-    def sweep(label, run_jobs, cache_dir):
-        os.environ["REPRO_CACHE_DIR"] = cache_dir
-        t0 = time.perf_counter()
-        figures.figure3(budget=budget, jobs=run_jobs, use_cache=True)
-        times[label] = round(time.perf_counter() - t0, 3)
-
-    serial_dir = tempfile.mkdtemp(prefix="bench-cache-")
-    pooled_dir = tempfile.mkdtemp(prefix="bench-cache-")
-    saved = os.environ.get("REPRO_CACHE_DIR")
-    images.clear()
-    try:
-        sweep("figure3_serial_s", 1, serial_dir)
-        # Fork the persistent pool outside the timed region: campaigns
-        # reuse one long-lived pool, so steady-state is what matters.
-        parallel._persistent_pool(jobs)
-        sweep("figure3_jobs_s", jobs, pooled_dir)
-        sweep("figure3_warm_cache_s", 1, pooled_dir)
-        entries = len(ResultCache(pooled_dir))
-    finally:
-        if saved is None:
-            os.environ.pop("REPRO_CACHE_DIR", None)
-        else:
-            os.environ["REPRO_CACHE_DIR"] = saved
-        shutil.rmtree(serial_dir, ignore_errors=True)
-        shutil.rmtree(pooled_dir, ignore_errors=True)
-
-    serial, pooled = times["figure3_serial_s"], times["figure3_jobs_s"]
-    times.update(
-        jobs=jobs,
-        cache_entries=entries,
-        warm_image_entries=images.size(),
-        parallel_speedup=round(serial / pooled, 2) if pooled else None,
-        warm_cache_speedup=(
-            round(serial / times["figure3_warm_cache_s"], 2)
-            if times["figure3_warm_cache_s"] else None
-        ),
-    )
-    return times
+from repro.perf import collect
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--jobs", type=int,
-                    default=max(2, min(4, multiprocessing.cpu_count())),
+    ap.add_argument("--jobs", type=int, default=None,
                     help="worker processes for the parallel sweep "
-                         "(>= 2 so the pooled path is always exercised)")
+                         "(default max(2, min(4, cpu_count)) so the "
+                         "pooled path is always exercised)")
     ap.add_argument("--steps", type=int, default=None,
                     help="timed simulator cycles per core-benchmark rep")
     ap.add_argument("--reps", type=int, default=3,
@@ -171,38 +43,20 @@ def main():
     ap.add_argument("--output", default="BENCH_speed.json")
     args = ap.parse_args()
 
-    budget = QUICK_BUDGET if args.quick else FAST_BUDGET
-    steps = args.steps if args.steps is not None else (
-        4000 if args.quick else 12000
+    profile = collect.collect_profile(
+        quick=args.quick, jobs=args.jobs, steps=args.steps, reps=args.reps,
     )
-
-    report = {
-        "metadata": collect_metadata(),
-        "quick": args.quick,
-        "core": bench_core(steps, args.reps,
-                           budget.functional_warmup_instructions),
-        "figure3": bench_figure3(args.jobs, budget),
-    }
     with open(args.output, "w") as fh:
-        json.dump(report, fh, indent=2)
+        json.dump(collect.legacy_report(profile), fh, indent=2)
         fh.write("\n")
 
-    core = report["core"]
-    fig = report["figure3"]
-    print(f"core loop      : {core['core_cycles_per_sec']:.0f} cycles/sec "
-          f"median of {core['reps']}x{core['steps']} steps "
-          f"(reference {core['reference_cycles_per_sec']:.0f}, "
-          f"{core['fast_vs_reference_speedup']}x)")
-    print(f"figure 3 sweep : serial {fig['figure3_serial_s']}s, "
-          f"--jobs {fig['jobs']} {fig['figure3_jobs_s']}s "
-          f"({fig['parallel_speedup']}x), "
-          f"warm cache {fig['figure3_warm_cache_s']}s "
-          f"({fig['warm_cache_speedup']}x)")
+    print(collect.summarize(profile))
     print(f"report written : {args.output}")
 
-    if fig["parallel_speedup"] is not None and fig["parallel_speedup"] < 1.0:
+    speedup = profile["metrics"]["parallel_speedup"]
+    if speedup is not None and speedup < 1.0:
         print(f"FAIL: parallel figure3 sweep slower than serial "
-              f"(speedup {fig['parallel_speedup']}x < 1.0)", file=sys.stderr)
+              f"(speedup {speedup}x < 1.0)", file=sys.stderr)
         return 1
     return 0
 

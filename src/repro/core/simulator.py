@@ -118,8 +118,8 @@ def _fast_step_disabled() -> bool:
     """Environment kill switch: REPRO_NO_FAST_STEP=1 forces the
     reference step loop everywhere (used by the equivalence tests and
     as an escape hatch while debugging)."""
-    import os
-    return os.environ.get("REPRO_NO_FAST_STEP", "") not in ("", "0")
+    from repro.envutil import env_flag
+    return env_flag("REPRO_NO_FAST_STEP")
 
 
 class ListenerChain:

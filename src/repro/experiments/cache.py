@@ -38,6 +38,7 @@ from typing import Any, Dict, Mapping, Optional
 
 import repro
 from repro.core.config import SMTConfig
+from repro.envutil import env_flag
 from repro.core.simulator import CacheStats, SimResult
 from repro.workloads.mixes import benchmark_rotation
 from repro.workloads.profiles import PROFILES
@@ -123,7 +124,7 @@ def default_cache_dir() -> str:
 
 
 def cache_enabled_by_default() -> bool:
-    return not os.environ.get("REPRO_NO_CACHE")
+    return not env_flag("REPRO_NO_CACHE")
 
 
 # ----------------------------------------------------------------------

@@ -38,7 +38,6 @@ import dataclasses
 import hashlib
 import json
 import multiprocessing
-import os
 import sys
 import time
 from dataclasses import dataclass
@@ -55,6 +54,7 @@ from typing import (
 
 from repro.core.config import SMTConfig
 from repro.core.simulator import SimResult, Simulator
+from repro.envutil import env_flag, env_int
 from repro.experiments.cache import (
     ResultCache,
     cache_enabled_by_default,
@@ -276,21 +276,26 @@ _configured_jobs: Optional[int] = None
 _configured_use_cache: Optional[bool] = None
 _configured_progress: Optional[ProgressCallback] = None
 _configured_check_invariants: Optional[bool] = None
+_configured_cache: Optional[ResultCache] = None
 
 _UNSET = object()
 
 
 def configure(jobs: Any = _UNSET, use_cache: Any = _UNSET,
               progress: Any = _UNSET,
-              check_invariants: Any = _UNSET) -> None:
+              check_invariants: Any = _UNSET,
+              cache: Any = _UNSET) -> None:
     """Set process-wide defaults (the CLI's ``--jobs`` / ``--no-cache``
     / ``--progress`` / ``--check-invariants``).
 
     Pass ``None`` to reset a knob to its environment-derived default
-    (for ``progress``: no reporting).
+    (for ``progress``: no reporting).  ``cache`` installs an explicit
+    :class:`ResultCache` instance as the batch default — benchmarks use
+    it to point sweeps at throwaway directories without mutating
+    ``REPRO_CACHE_DIR`` for the whole process.
     """
     global _configured_jobs, _configured_use_cache, _configured_progress
-    global _configured_check_invariants
+    global _configured_check_invariants, _configured_cache
     if jobs is not _UNSET:
         _configured_jobs = jobs
     if use_cache is not _UNSET:
@@ -299,22 +304,22 @@ def configure(jobs: Any = _UNSET, use_cache: Any = _UNSET,
         _configured_progress = progress
     if check_invariants is not _UNSET:
         _configured_check_invariants = check_invariants
+    if cache is not _UNSET:
+        _configured_cache = cache
 
 
 def default_progress() -> Optional[ProgressCallback]:
     return _configured_progress
 
 
+def default_cache() -> Optional[ResultCache]:
+    return _configured_cache
+
+
 def default_jobs() -> int:
     if _configured_jobs is not None:
         return _configured_jobs
-    env = os.environ.get("REPRO_JOBS")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            pass
-    return 1
+    return env_int("REPRO_JOBS", fallback=1, minimum=1)
 
 
 def default_use_cache() -> bool:
@@ -331,7 +336,7 @@ def default_check_invariants() -> bool:
     """
     if _configured_check_invariants is not None:
         return _configured_check_invariants
-    return bool(os.environ.get("REPRO_CHECK_INVARIANTS"))
+    return env_flag("REPRO_CHECK_INVARIANTS")
 
 
 def _pool(processes: int):
@@ -424,7 +429,10 @@ def execute_runs(
     if use_cache is None:
         use_cache = default_use_cache()
     if cache is None and use_cache:
-        cache = ResultCache()
+        # Explicit None test: ResultCache has __len__, so an *empty*
+        # configured cache is falsy and `or` would wrongly discard it.
+        configured = default_cache()
+        cache = configured if configured is not None else ResultCache()
     if progress is None:
         progress = default_progress()
     started = time.perf_counter()

@@ -16,12 +16,12 @@ path — the results are field-identical however they were produced.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.config import SMTConfig
 from repro.core.simulator import SimResult
+from repro.envutil import env_flag
 from repro.experiments.parallel import (
     RunSpec,
     default_check_invariants,
@@ -41,10 +41,10 @@ class RunBudget:
     @classmethod
     def from_environment(cls) -> "RunBudget":
         """The default budget, honouring ``REPRO_FAST``/``REPRO_FULL``."""
-        if os.environ.get("REPRO_FAST"):
+        if env_flag("REPRO_FAST"):
             return cls(warmup_cycles=1000, measure_cycles=8000,
                        functional_warmup_instructions=30000, rotations=1)
-        if os.environ.get("REPRO_FULL"):
+        if env_flag("REPRO_FULL"):
             return cls(warmup_cycles=4000, measure_cycles=40000,
                        functional_warmup_instructions=120000, rotations=4)
         return cls()

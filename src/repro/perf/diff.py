@@ -1,0 +1,163 @@
+"""Noise-aware comparison of two performance profiles.
+
+Benchmark numbers off a busy host jitter; a 3% wobble in
+``figure3_serial_s`` is weather, not a regression.  Every metric the
+profile tracks therefore carries a :class:`MetricSpec` — which
+direction is better and how much relative movement is within expected
+noise — and :func:`diff_profiles` classifies each delta as
+``improved`` / ``regressed`` / ``unchanged`` against that tolerance
+(scaled up for ``--quick`` profiles, which use smaller budgets and are
+noisier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+HIGHER = "higher"
+LOWER = "lower"
+
+IMPROVED = "improved"
+REGRESSED = "regressed"
+UNCHANGED = "unchanged"
+ADDED = "added"
+REMOVED = "removed"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """How to judge one profile metric."""
+
+    name: str
+    direction: str        # HIGHER or LOWER is better
+    rel_tolerance: float  # relative movement considered noise
+    summary: str = ""
+
+
+#: The tracked metrics.  Wall-clock metrics get wider tolerances than
+#: rate metrics (they absorb scheduler noise directly); the warm-cache
+#: replay is near-instant, so its relative jitter is large.
+METRIC_SPECS = (
+    MetricSpec("core_cycles_per_sec", HIGHER, 0.10,
+               "fast-step inner-loop speed"),
+    MetricSpec("reference_cycles_per_sec", HIGHER, 0.10,
+               "reference step() loop speed"),
+    MetricSpec("fast_vs_reference_speedup", HIGHER, 0.10,
+               "fast loop speedup over reference (A/B, host-noise immune)"),
+    MetricSpec("figure3_serial_s", LOWER, 0.15,
+               "serial cold-cache Figure 3 sweep wall-clock"),
+    MetricSpec("figure3_jobs_s", LOWER, 0.15,
+               "pooled cold-cache Figure 3 sweep wall-clock"),
+    MetricSpec("figure3_warm_cache_s", LOWER, 0.50,
+               "cache-replay Figure 3 sweep wall-clock"),
+    MetricSpec("parallel_speedup", HIGHER, 0.10,
+               "pooled sweep speedup over serial"),
+    MetricSpec("warm_cache_speedup", HIGHER, 0.50,
+               "cache replay speedup over serial"),
+    MetricSpec("warm_cache_hit_rate", HIGHER, 0.05,
+               "result-cache hit rate of the replay sweep"),
+)
+
+SPECS_BY_NAME = {spec.name: spec for spec in METRIC_SPECS}
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's movement between two profiles."""
+
+    metric: str
+    direction: str
+    rel_tolerance: float
+    before: Optional[float]
+    after: Optional[float]
+    #: Signed relative change, ``(after - before) / |before|``.
+    rel_change: Optional[float]
+    classification: str
+
+    @property
+    def significant(self) -> bool:
+        return self.classification in (IMPROVED, REGRESSED)
+
+    def describe(self) -> str:
+        if self.classification in (ADDED, REMOVED):
+            return (f"{self.metric}: {self.classification} "
+                    f"({self.before} -> {self.after})")
+        arrow = {IMPROVED: "+", REGRESSED: "!", UNCHANGED: "="}
+        pct = f"{self.rel_change:+.1%}" if self.rel_change is not None \
+            else "n/a"
+        return (f"[{arrow[self.classification]}] {self.metric}: "
+                f"{self.before} -> {self.after} ({pct}, "
+                f"tol {self.rel_tolerance:.0%}, "
+                f"{self.direction} is better) {self.classification}")
+
+
+def profile_metrics(profile: Mapping[str, Any]) -> Dict[str, float]:
+    """The profile's numeric metrics (non-numeric entries dropped)."""
+    out = {}
+    for name, value in (profile.get("metrics") or {}).items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[name] = float(value)
+    return out
+
+
+def classify(
+    spec: MetricSpec,
+    before: Optional[float],
+    after: Optional[float],
+    tolerance_scale: float = 1.0,
+) -> MetricDelta:
+    """Judge one metric's movement under the spec's tolerance."""
+    if before is None or after is None:
+        kind = ADDED if before is None else REMOVED
+        return MetricDelta(spec.name, spec.direction, spec.rel_tolerance,
+                           before, after, None, kind)
+    if before == 0:
+        rel = 0.0 if after == 0 else float("inf") * (1 if after > 0 else -1)
+    else:
+        rel = (after - before) / abs(before)
+    tolerance = spec.rel_tolerance * tolerance_scale
+    better = rel if spec.direction == HIGHER else -rel
+    if better > tolerance:
+        kind = IMPROVED
+    elif better < -tolerance:
+        kind = REGRESSED
+    else:
+        kind = UNCHANGED
+    return MetricDelta(spec.name, spec.direction, spec.rel_tolerance,
+                       before, after, rel, kind)
+
+
+def diff_profiles(
+    before: Mapping[str, Any],
+    after: Mapping[str, Any],
+    tolerance_scale: float = 1.0,
+) -> List[MetricDelta]:
+    """Per-metric deltas between two profiles, in spec order.
+
+    Metrics unknown to :data:`METRIC_SPECS` are judged
+    higher-is-better with a 10% tolerance, so forward-compatible
+    profiles still diff sensibly.
+    """
+    a = profile_metrics(before)
+    b = profile_metrics(after)
+    deltas = []
+    names = [spec.name for spec in METRIC_SPECS]
+    names += sorted((set(a) | set(b)) - set(names))
+    for name in names:
+        if name not in a and name not in b:
+            continue
+        spec = SPECS_BY_NAME.get(name, MetricSpec(name, HIGHER, 0.10))
+        deltas.append(
+            classify(spec, a.get(name), b.get(name), tolerance_scale)
+        )
+    return deltas
+
+
+def quick_tolerance_scale(*profiles: Mapping[str, Any]) -> float:
+    """2x tolerances when any side was recorded in ``--quick`` mode."""
+    return 2.0 if any(p.get("quick") for p in profiles) else 1.0
+
+
+def format_deltas(deltas: List[MetricDelta]) -> str:
+    return "\n".join(delta.describe() for delta in deltas)

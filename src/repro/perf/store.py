@@ -1,0 +1,190 @@
+"""Per-commit performance profile store.
+
+One JSON document per git SHA, written atomically into a flat
+directory (default ``.perf`` in the working directory, overridden by
+``REPRO_PERF_DIR`` or an explicit ``directory=``).  Loads are
+validated the same way :mod:`repro.experiments.export` validates run
+documents: a profile whose ``schema`` / ``schema_version`` stamp does
+not match is rejected with a clear error instead of being silently
+misread.
+
+The store is the substrate for ``repro perf list/show/diff/check``:
+profiles sort by their ``recorded_at`` timestamp, so "the trailing N
+profiles before this one" — the history the regression detector
+reasons over — is well-defined without consulting git.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional
+
+#: Stamped into every profile; loaders reject other values.  Bump on
+#: any change to the profile layout or metric meanings.
+PERF_SCHEMA = "repro.perf"
+PERF_SCHEMA_VERSION = 1
+
+#: Key used when a profile was recorded outside a git checkout.
+UNKEYED = "uncommitted"
+
+
+def default_profile_dir() -> str:
+    env = os.environ.get("REPRO_PERF_DIR")
+    if env:
+        return env
+    return os.path.join(os.getcwd(), ".perf")
+
+
+def validate_profile(document: Any) -> Dict[str, Any]:
+    """Return ``document`` if it is a current-schema profile, else raise
+    :class:`ValueError` naming what is wrong (mirrors
+    ``export._validate``)."""
+    if not isinstance(document, dict):
+        raise ValueError(f"{PERF_SCHEMA} document must be a JSON object")
+    if document.get("schema") != PERF_SCHEMA:
+        raise ValueError(
+            f"expected schema {PERF_SCHEMA!r}, got {document.get('schema')!r}"
+        )
+    if document.get("schema_version") != PERF_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported {PERF_SCHEMA} schema version "
+            f"{document.get('schema_version')!r} "
+            f"(expected {PERF_SCHEMA_VERSION})"
+        )
+    if not isinstance(document.get("metrics"), dict):
+        raise ValueError(f"{PERF_SCHEMA} document has no metrics mapping")
+    return document
+
+
+class ProfileStore:
+    """Directory of validated performance profiles keyed by git SHA."""
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory or default_profile_dir()
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def keys(self) -> List[str]:
+        """Every stored key (unordered; use :meth:`profiles` for the
+        recorded-at ordering)."""
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return []
+        return sorted(
+            name[:-5] for name in names
+            if name.endswith(".json") and not name.startswith(".tmp-")
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    # ------------------------------------------------------------------
+    def save(self, profile: Dict[str, Any],
+             key: Optional[str] = None) -> str:
+        """Validate and write ``profile``; returns the stored path.
+
+        The key defaults to the profile's ``git_sha`` (re-recording the
+        same commit overwrites its profile), or :data:`UNKEYED` outside
+        a git checkout.
+        """
+        validate_profile(profile)
+        if key is None:
+            key = profile.get("git_sha") or UNKEYED
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.path_for(key)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".json", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(profile, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load(self, ref: str) -> Dict[str, Any]:
+        """The profile ``ref`` names: an exact key, a unique SHA
+        prefix (>= 4 chars), or the literal ``"latest"``.
+
+        Raises :class:`KeyError` when nothing matches and
+        :class:`ValueError` for an ambiguous prefix or an invalid
+        document.
+        """
+        if ref == "latest":
+            latest = self.latest()
+            if latest is None:
+                raise KeyError("profile store is empty")
+            return latest
+        key = ref if ref in self else None
+        if key is None and len(ref) >= 4:
+            matches = [k for k in self.keys() if k.startswith(ref)]
+            if len(matches) > 1:
+                raise ValueError(
+                    f"ambiguous profile ref {ref!r}: "
+                    f"matches {', '.join(matches)}"
+                )
+            key = matches[0] if matches else None
+        if key is None:
+            raise KeyError(f"no profile for {ref!r} in {self.directory}")
+        with open(self.path_for(key), "r", encoding="utf-8") as handle:
+            return validate_profile(json.load(handle))
+
+    # ------------------------------------------------------------------
+    def profiles(self) -> List[Dict[str, Any]]:
+        """Every valid profile, oldest first (by ``recorded_at``).
+
+        Invalid or stale-schema files are skipped, not raised: one old
+        artifact must not brick ``repro perf list``.
+        """
+        loaded = []
+        for key in self.keys():
+            try:
+                with open(self.path_for(key), "r",
+                          encoding="utf-8") as handle:
+                    loaded.append(validate_profile(json.load(handle)))
+            except (ValueError, OSError):
+                continue
+        loaded.sort(key=lambda p: (p.get("recorded_at") or 0.0,
+                                   p.get("git_sha") or ""))
+        return loaded
+
+    def latest(self) -> Optional[Dict[str, Any]]:
+        ordered = self.profiles()
+        return ordered[-1] if ordered else None
+
+    def history(
+        self,
+        before: Optional[Dict[str, Any]] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Profiles recorded strictly before ``before`` (default: all),
+        oldest first, optionally truncated to the trailing ``limit``.
+
+        This is the trend window ``repro perf check`` reasons over.
+        """
+        ordered = self.profiles()
+        if before is not None:
+            cutoff = before.get("recorded_at") or 0.0
+            key = before.get("git_sha")
+            ordered = [
+                p for p in ordered
+                if (p.get("recorded_at") or 0.0) < cutoff
+                and p.get("git_sha") != key
+            ]
+        if limit is not None and limit >= 0:
+            ordered = ordered[len(ordered) - min(limit, len(ordered)):]
+        return ordered

@@ -54,7 +54,8 @@ misses = 0
 
 
 def images_enabled() -> bool:
-    return os.environ.get("REPRO_NO_WARM_IMAGES", "") in ("", "0")
+    from repro.envutil import env_flag
+    return not env_flag("REPRO_NO_WARM_IMAGES")
 
 
 class WarmImage:

@@ -1,0 +1,38 @@
+"""Shared synthetic-profile factory for the perf-store tests."""
+
+import pytest
+
+from repro.perf.store import PERF_SCHEMA, PERF_SCHEMA_VERSION
+
+
+def make_profile(sha, recorded_at, quick=False, **metric_overrides):
+    """A well-formed profile with healthy defaults; override any metric."""
+    metrics = {
+        "core_cycles_per_sec": 10000.0,
+        "reference_cycles_per_sec": 7700.0,
+        "fast_vs_reference_speedup": 1.3,
+        "figure3_serial_s": 10.0,
+        "figure3_jobs_s": 7.7,
+        "figure3_warm_cache_s": 0.05,
+        "parallel_speedup": 1.3,
+        "warm_cache_speedup": 200.0,
+        "warm_cache_hit_rate": 1.0,
+    }
+    metrics.update(metric_overrides)
+    return {
+        "schema": PERF_SCHEMA,
+        "schema_version": PERF_SCHEMA_VERSION,
+        "git_sha": sha,
+        "recorded_at": float(recorded_at),
+        "recorded_at_iso": "2026-08-08T00:00:00Z",
+        "quick": quick,
+        "host": {"python": "3.12.0", "implementation": "CPython",
+                 "host_cpus": 1, "platform": "test"},
+        "metrics": metrics,
+        "raw": {"core": {}, "figure3": {}},
+    }
+
+
+@pytest.fixture
+def profile_factory():
+    return make_profile

@@ -1,0 +1,110 @@
+"""Noise-aware diff math."""
+
+import pytest
+
+from repro.perf.diff import (
+    ADDED,
+    HIGHER,
+    IMPROVED,
+    LOWER,
+    REGRESSED,
+    REMOVED,
+    UNCHANGED,
+    METRIC_SPECS,
+    MetricSpec,
+    classify,
+    diff_profiles,
+    format_deltas,
+    profile_metrics,
+    quick_tolerance_scale,
+)
+
+
+def _by_name(deltas):
+    return {d.metric: d for d in deltas}
+
+
+class TestClassify:
+    HIGHER_SPEC = MetricSpec("m", HIGHER, 0.10)
+    LOWER_SPEC = MetricSpec("m", LOWER, 0.10)
+
+    def test_within_tolerance_is_unchanged(self):
+        assert classify(self.HIGHER_SPEC, 100.0, 95.0).classification \
+            == UNCHANGED
+        assert classify(self.HIGHER_SPEC, 100.0, 109.0).classification \
+            == UNCHANGED
+
+    def test_higher_is_better_directions(self):
+        assert classify(self.HIGHER_SPEC, 100.0, 120.0).classification \
+            == IMPROVED
+        assert classify(self.HIGHER_SPEC, 100.0, 80.0).classification \
+            == REGRESSED
+
+    def test_lower_is_better_inverts(self):
+        assert classify(self.LOWER_SPEC, 10.0, 8.0).classification \
+            == IMPROVED
+        assert classify(self.LOWER_SPEC, 10.0, 12.0).classification \
+            == REGRESSED
+
+    def test_rel_change_is_signed(self):
+        delta = classify(self.HIGHER_SPEC, 100.0, 80.0)
+        assert delta.rel_change == pytest.approx(-0.2)
+        assert delta.significant
+
+    def test_tolerance_scale_widens_noise_band(self):
+        # -15% fails at 1x but passes at 2x (tolerance 10% -> 20%).
+        assert classify(self.HIGHER_SPEC, 100.0, 85.0).classification \
+            == REGRESSED
+        assert classify(self.HIGHER_SPEC, 100.0, 85.0,
+                        tolerance_scale=2.0).classification == UNCHANGED
+
+    def test_missing_sides(self):
+        assert classify(self.HIGHER_SPEC, None, 5.0).classification == ADDED
+        assert classify(self.HIGHER_SPEC, 5.0, None).classification \
+            == REMOVED
+
+    def test_zero_before(self):
+        assert classify(self.HIGHER_SPEC, 0.0, 0.0).classification \
+            == UNCHANGED
+        assert classify(self.HIGHER_SPEC, 0.0, 5.0).classification \
+            == IMPROVED
+
+
+class TestDiffProfiles:
+    def test_full_diff(self, profile_factory):
+        a = profile_factory("a" * 40, 1.0)
+        b = profile_factory("b" * 40, 2.0,
+                            core_cycles_per_sec=8000.0,   # -20%: regressed
+                            figure3_serial_s=8.0,          # -20%: improved
+                            parallel_speedup=1.32)         # +1.5%: unchanged
+        deltas = _by_name(diff_profiles(a, b))
+        assert deltas["core_cycles_per_sec"].classification == REGRESSED
+        assert deltas["figure3_serial_s"].classification == IMPROVED
+        assert deltas["parallel_speedup"].classification == UNCHANGED
+
+    def test_unknown_metric_defaults_to_higher_better(self, profile_factory):
+        a = profile_factory("a" * 40, 1.0, brand_new_metric=100.0)
+        b = profile_factory("b" * 40, 2.0, brand_new_metric=50.0)
+        deltas = _by_name(diff_profiles(a, b))
+        assert deltas["brand_new_metric"].classification == REGRESSED
+
+    def test_profile_metrics_drops_non_numeric(self, profile_factory):
+        profile = profile_factory("a" * 40, 1.0)
+        profile["metrics"]["warm_cache_hit_rate"] = None
+        profile["metrics"]["flag"] = True
+        metrics = profile_metrics(profile)
+        assert "warm_cache_hit_rate" not in metrics
+        assert "flag" not in metrics
+        assert metrics["core_cycles_per_sec"] == 10000.0
+
+    def test_quick_scale(self, profile_factory):
+        full = profile_factory("a" * 40, 1.0)
+        quick = profile_factory("b" * 40, 2.0, quick=True)
+        assert quick_tolerance_scale(full, full) == 1.0
+        assert quick_tolerance_scale(full, quick) == 2.0
+
+    def test_format_mentions_every_metric(self, profile_factory):
+        a = profile_factory("a" * 40, 1.0)
+        text = format_deltas(diff_profiles(a, a))
+        for spec in METRIC_SPECS:
+            assert spec.name in text

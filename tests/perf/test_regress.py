@@ -1,0 +1,180 @@
+"""Regression detection on synthetic histories.
+
+Three shapes the checker has to get right: an *improving* history must
+pass, an injected step or slow-leak *degradation* must fail, and a
+*noisy but flat* history must not flap.
+"""
+
+import pytest
+
+from repro.perf.regress import (
+    FLOORS,
+    SLOPE_MIN_POINTS,
+    check_against_baseline,
+    check_against_history,
+    floor_verdicts,
+)
+
+
+def _failing_metrics(report):
+    return {v.metric for v in report.failures}
+
+
+def _history(profile_factory, values, metric="core_cycles_per_sec"):
+    return [
+        profile_factory(f"{i:x}" * 40, float(i), **{metric: v})
+        for i, v in enumerate(values)
+    ]
+
+
+class TestBaseline:
+    def test_healthy_vs_itself_passes(self, profile_factory):
+        p = profile_factory("a" * 40, 10.0)
+        report = check_against_baseline(p, p)
+        assert report.ok
+        assert report.mode == "baseline"
+
+    def test_injected_regression_fails(self, profile_factory):
+        baseline = profile_factory("a" * 40, 1.0)
+        bad = profile_factory("b" * 40, 2.0,
+                              core_cycles_per_sec=7000.0)  # -30%
+        report = check_against_baseline(bad, baseline)
+        assert not report.ok
+        assert "core_cycles_per_sec" in _failing_metrics(report)
+
+    def test_improvement_passes(self, profile_factory):
+        baseline = profile_factory("a" * 40, 1.0)
+        good = profile_factory("b" * 40, 2.0,
+                               core_cycles_per_sec=13000.0,
+                               figure3_serial_s=7.0)
+        assert check_against_baseline(good, baseline).ok
+
+    def test_tolerance_scale_absorbs_quick_noise(self, profile_factory):
+        baseline = profile_factory("a" * 40, 1.0)
+        wobble = profile_factory("b" * 40, 2.0,
+                                 core_cycles_per_sec=8500.0)  # -15%
+        assert not check_against_baseline(wobble, baseline).ok
+        assert check_against_baseline(wobble, baseline,
+                                      tolerance_scale=2.0).ok
+
+
+class TestTrend:
+    def test_flat_history_passes(self, profile_factory):
+        history = _history(profile_factory, [10000.0] * 5)
+        current = profile_factory("f" * 40, 99.0)
+        report = check_against_history(current, history)
+        assert report.ok
+        assert report.mode == "trend"
+
+    def test_step_regression_fails_median_test(self, profile_factory):
+        history = _history(profile_factory, [10000.0] * 5)
+        bad = profile_factory("f" * 40, 99.0,
+                              core_cycles_per_sec=7000.0)  # -30% step
+        report = check_against_history(bad, history)
+        assert not report.ok
+        kinds = {v.kind for v in report.failures
+                 if v.metric == "core_cycles_per_sec"}
+        assert "median" in kinds
+
+    def test_slow_leak_fails_slope_test(self, profile_factory):
+        # 3%/sample decay: each pairwise diff is inside the 10% noise
+        # band, and the current value is within tolerance of the
+        # median, but the fitted slope exceeds SLOPE_THRESHOLD.
+        values = [10000.0 * (1 - 0.03 * i) for i in range(5)]
+        history = _history(profile_factory, values)
+        current = profile_factory("f" * 40, 99.0,
+                                  core_cycles_per_sec=10000.0 * (1 - 0.15))
+        report = check_against_history(current, history)
+        failures = [v for v in report.failures
+                    if v.metric == "core_cycles_per_sec"]
+        assert failures
+        assert all(v.kind == "slope" for v in failures)
+
+    def test_improving_history_passes(self, profile_factory):
+        values = [10000.0 * (1 + 0.05 * i) for i in range(5)]
+        history = _history(profile_factory, values)
+        current = profile_factory("f" * 40, 99.0,
+                                  core_cycles_per_sec=13000.0)
+        assert check_against_history(current, history).ok
+
+    def test_noisy_flat_history_passes(self, profile_factory):
+        # +/-4% wobble around 10000 with a flat centre: no verdict
+        # should fire in either direction.
+        values = [10000.0, 9600.0, 10400.0, 9700.0, 10300.0]
+        history = _history(profile_factory, values)
+        current = profile_factory("f" * 40, 99.0,
+                                  core_cycles_per_sec=9800.0)
+        assert check_against_history(current, history).ok
+
+    def test_lower_is_better_metric_direction(self, profile_factory):
+        history = _history(profile_factory, [10.0] * 5,
+                           metric="figure3_serial_s")
+        slower = profile_factory("f" * 40, 99.0, figure3_serial_s=13.0)
+        report = check_against_history(slower, history)
+        assert "figure3_serial_s" in _failing_metrics(report)
+        faster = profile_factory("e" * 40, 98.0, figure3_serial_s=8.0)
+        assert check_against_history(faster, history).ok
+
+    def test_window_limits_lookback(self, profile_factory):
+        # Ancient fast samples outside the window must not pull the
+        # fitted slope down and fail a steady-state current value.
+        values = [20000.0, 20000.0, 10000.0, 10000.0, 10000.0]
+        history = _history(profile_factory, values)
+        current = profile_factory("f" * 40, 99.0)
+        assert check_against_history(current, history, window=3).ok
+        assert not check_against_history(current, history, window=5).ok
+
+    def test_empty_history_floor_checks_only(self, profile_factory):
+        current = profile_factory("f" * 40, 99.0)
+        report = check_against_history(current, [])
+        assert report.ok
+        assert any("no history" in note for note in report.notes)
+        assert {v.kind for v in report.verdicts} == {"floor"}
+
+    def test_slope_needs_min_points(self, profile_factory):
+        # 2 history points + current = 3 < SLOPE_MIN_POINTS: no slope
+        # verdict even on a steep decline that stays within tolerance.
+        assert SLOPE_MIN_POINTS == 4
+        history = _history(profile_factory, [10000.0, 9500.0])
+        current = profile_factory("f" * 40, 99.0,
+                                  core_cycles_per_sec=9100.0)
+        report = check_against_history(current, history)
+        kinds = {v.kind for v in report.verdicts
+                 if v.metric == "core_cycles_per_sec"}
+        assert "slope" not in kinds
+
+
+class TestFloors:
+    def test_parallel_speedup_floor(self, profile_factory):
+        assert FLOORS["parallel_speedup"] == 1.0
+        bad = profile_factory("a" * 40, 1.0, parallel_speedup=0.9)
+        verdicts = floor_verdicts(bad)
+        assert any(v.metric == "parallel_speedup" and not v.ok
+                   for v in verdicts)
+        good = profile_factory("b" * 40, 2.0, parallel_speedup=1.0)
+        assert all(v.ok for v in floor_verdicts(good))
+
+    def test_floor_applies_in_both_modes(self, profile_factory):
+        bad = profile_factory("a" * 40, 1.0, parallel_speedup=0.8)
+        assert not check_against_baseline(bad, bad).ok
+        assert not check_against_history(bad, []).ok
+
+    def test_missing_floor_metric_is_skipped(self, profile_factory):
+        p = profile_factory("a" * 40, 1.0)
+        del p["metrics"]["parallel_speedup"]
+        assert floor_verdicts(p) == []
+
+
+class TestReport:
+    def test_describe_states_verdict(self, profile_factory):
+        good = profile_factory("a" * 40, 1.0)
+        assert check_against_history(good, []).describe() \
+            .endswith("verdict: OK")
+        bad = profile_factory("b" * 40, 2.0, parallel_speedup=0.5)
+        text = check_against_history(bad, []).describe()
+        assert "FAIL (1 regression(s))" in text
+
+    def test_failures_lists_only_failed(self, profile_factory):
+        bad = profile_factory("b" * 40, 2.0, parallel_speedup=0.5)
+        report = check_against_history(bad, [])
+        assert [v.metric for v in report.failures] == ["parallel_speedup"]

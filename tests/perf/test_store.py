@@ -1,0 +1,143 @@
+"""Profile store: round-trip, validation, refs, ordering."""
+
+import json
+
+import pytest
+
+from repro.perf.store import (
+    PERF_SCHEMA,
+    PERF_SCHEMA_VERSION,
+    UNKEYED,
+    ProfileStore,
+    default_profile_dir,
+    validate_profile,
+)
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path, profile_factory):
+        store = ProfileStore(str(tmp_path))
+        profile = profile_factory("a" * 40, 1000.0)
+        path = store.save(profile)
+        assert path.endswith(f"{'a' * 40}.json")
+        assert store.load("a" * 40) == profile
+        assert len(store) == 1
+        assert ("a" * 40) in store
+
+    def test_resave_same_sha_overwrites(self, tmp_path, profile_factory):
+        store = ProfileStore(str(tmp_path))
+        store.save(profile_factory("a" * 40, 1000.0))
+        store.save(profile_factory("a" * 40, 2000.0,
+                                   core_cycles_per_sec=11000.0))
+        assert len(store) == 1
+        loaded = store.load("a" * 40)
+        assert loaded["metrics"]["core_cycles_per_sec"] == 11000.0
+
+    def test_profile_without_sha_uses_unkeyed(self, tmp_path,
+                                              profile_factory):
+        store = ProfileStore(str(tmp_path))
+        store.save(profile_factory(None, 1000.0))
+        assert UNKEYED in store
+
+
+class TestValidation:
+    def test_rejects_wrong_schema(self, profile_factory):
+        bad = profile_factory("a" * 40, 1.0)
+        bad["schema"] = "repro.run"
+        with pytest.raises(ValueError, match="expected schema"):
+            validate_profile(bad)
+
+    def test_rejects_wrong_version(self, profile_factory):
+        bad = profile_factory("a" * 40, 1.0)
+        bad["schema_version"] = PERF_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="unsupported"):
+            validate_profile(bad)
+
+    def test_rejects_non_object_and_missing_metrics(self, profile_factory):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_profile([1, 2, 3])
+        bad = profile_factory("a" * 40, 1.0)
+        del bad["metrics"]
+        with pytest.raises(ValueError, match="metrics"):
+            validate_profile(bad)
+
+    def test_load_validates(self, tmp_path, profile_factory):
+        store = ProfileStore(str(tmp_path))
+        stale = profile_factory("b" * 40, 1.0)
+        stale["schema_version"] = 999
+        with open(store.path_for("b" * 40), "w") as fh:
+            json.dump(stale, fh)
+        with pytest.raises(ValueError):
+            store.load("b" * 40)
+
+    def test_profiles_skips_invalid_files(self, tmp_path, profile_factory):
+        store = ProfileStore(str(tmp_path))
+        store.save(profile_factory("a" * 40, 1.0))
+        (tmp_path / "junk.json").write_text("not json")
+        assert [p["git_sha"] for p in store.profiles()] == ["a" * 40]
+
+
+class TestRefs:
+    def test_prefix_resolution(self, tmp_path, profile_factory):
+        store = ProfileStore(str(tmp_path))
+        store.save(profile_factory("abcd" + "0" * 36, 1.0))
+        assert store.load("abcd")["git_sha"].startswith("abcd")
+
+    def test_ambiguous_prefix_raises(self, tmp_path, profile_factory):
+        store = ProfileStore(str(tmp_path))
+        store.save(profile_factory("abcd" + "0" * 36, 1.0))
+        store.save(profile_factory("abcd" + "1" * 36, 2.0))
+        with pytest.raises(ValueError, match="ambiguous"):
+            store.load("abcd")
+
+    def test_missing_ref_raises_keyerror(self, tmp_path):
+        store = ProfileStore(str(tmp_path))
+        with pytest.raises(KeyError):
+            store.load("feedface")
+        with pytest.raises(KeyError, match="empty"):
+            store.load("latest")
+
+
+class TestOrdering:
+    def test_profiles_sort_by_recorded_at(self, tmp_path, profile_factory):
+        store = ProfileStore(str(tmp_path))
+        for i, sha in enumerate(["c" * 40, "a" * 40, "b" * 40]):
+            store.save(profile_factory(sha, 100.0 + i))
+        assert [p["git_sha"][0] for p in store.profiles()] == ["c", "a", "b"]
+        assert store.latest()["git_sha"] == "b" * 40
+
+    def test_latest_ref(self, tmp_path, profile_factory):
+        store = ProfileStore(str(tmp_path))
+        store.save(profile_factory("a" * 40, 1.0))
+        store.save(profile_factory("b" * 40, 2.0))
+        assert store.load("latest")["git_sha"] == "b" * 40
+
+    def test_history_excludes_current_and_truncates(self, tmp_path,
+                                                    profile_factory):
+        store = ProfileStore(str(tmp_path))
+        shas = [f"{i:x}" * 40 for i in range(6)]
+        for i, sha in enumerate(shas):
+            store.save(profile_factory(sha, 100.0 + i))
+        current = store.load(shas[-1])
+        history = store.history(before=current, limit=3)
+        assert [p["git_sha"] for p in history] == shas[2:5]
+
+    def test_empty_store(self, tmp_path):
+        store = ProfileStore(str(tmp_path / "missing"))
+        assert store.profiles() == []
+        assert store.latest() is None
+        assert len(store) == 0
+
+
+class TestDefaultDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_PERF_DIR", str(tmp_path))
+        assert default_profile_dir() == str(tmp_path)
+
+    def test_default_is_dot_perf(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PERF_DIR", raising=False)
+        assert default_profile_dir().endswith(".perf")
+
+    def test_schema_constants(self):
+        assert PERF_SCHEMA == "repro.perf"
+        assert isinstance(PERF_SCHEMA_VERSION, int)

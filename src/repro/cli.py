@@ -23,6 +23,12 @@ Usage::
     python -m repro perf diff <shaA> <shaB>
     python -m repro perf check [--baseline <sha> | --window 5]
     python -m repro policies
+    python -m repro multicore run --cores 2 --allocator PAIRING \
+        --arrivals 8 --check-invariants
+    python -m repro multicore run --cores 4 --trace jobs.jsonl --json out.json
+    python -m repro experiment allocation --fast --export results/
+    python -m repro fuzz --multicore --seeds 10
+    python -m repro allocators
     python -m repro workload espresso --instructions 20000
     python -m repro list
 
@@ -47,6 +53,7 @@ from repro.core.telemetry import TelemetrySampler
 from repro.core.trace import PipelineTracer
 from repro.experiments import (
     adaptive,
+    allocation,
     bottlenecks,
     export,
     figures,
@@ -66,11 +73,15 @@ class Experiment(NamedTuple):
     Keeping them separate lets ``--export`` serialise the computed data
     alongside the printed tables; ``exportable`` is False for report
     harnesses that print directly without returning tabular data.
+    ``exporter`` overrides the default ``export_experiment`` writer for
+    studies whose data is not ExperimentPoint-shaped (the allocation
+    study exports multicore documents).
     """
 
     compute: Callable[[RunBudget], Any]
     render: Callable[[Any], None]
     exportable: bool = True
+    exporter: Optional[Callable[[Any, str], List[str]]] = None
 
 
 def _print_nothing(_data: Any) -> None:
@@ -119,6 +130,11 @@ EXPERIMENTS = {
         lambda budget: adaptive.adaptive_study(budget=budget),
         adaptive.print_adaptive_study,
     ),
+    "allocation": Experiment(
+        lambda budget: allocation.allocation_study(budget=budget),
+        allocation.print_allocation_study,
+        exporter=allocation.export_allocation_study,
+    ),
 }
 
 
@@ -130,6 +146,17 @@ def _fetch_policy_spec(value: str) -> str:
 
     try:
         validate_spec(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return value
+
+
+def _alloc_spec(value: str) -> str:
+    """argparse type: validate an allocator spec against the registry."""
+    from repro.multicore.alloc import validate_alloc_spec
+
+    try:
+        validate_alloc_spec(value)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from exc
     return value
@@ -241,6 +268,10 @@ def build_parser() -> argparse.ArgumentParser:
         "fuzz",
         help="differential-fuzz the pipeline against the oracle",
     )
+    fuzz.add_argument("--multicore", action="store_true",
+                      help="fuzz the multicore allocation surface (core "
+                           "counts x allocator specs x arrival streams) "
+                           "instead of the single-core pipeline")
     fuzz.add_argument("--seeds", type=int, default=25,
                       help="number of consecutive fuzz seeds (default 25)")
     fuzz.add_argument("--start-seed", type=int, default=0,
@@ -348,6 +379,59 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "policies",
         help="list registered fetch policies and the spec grammar",
+    )
+
+    mc = sub.add_parser(
+        "multicore",
+        help="run the N-core open-system machine",
+    )
+    mcsub = mc.add_subparsers(dest="multicore_command", required=True)
+    mcr = mcsub.add_parser(
+        "run",
+        help="drive an open-system job stream through N cores",
+    )
+    mcr.add_argument("--cores", type=int, default=2,
+                     help="number of SMT cores (default 2)")
+    mcr.add_argument("--contexts", type=int, default=2,
+                     help="hardware contexts per core (default 2)")
+    mcr.add_argument("--allocator", type=_alloc_spec, default="LOAD",
+                     metavar="SPEC",
+                     help="thread-to-core allocation policy: RANDOM, "
+                          "ROUND_ROBIN, LOAD, or PAIRING[:key=value,...] "
+                          "(see 'repro allocators')")
+    mcr.add_argument("--arrivals", type=int, default=8, metavar="N",
+                     help="jobs in the seeded arrival process (default 8)")
+    mcr.add_argument("--rate", type=float, default=1.0,
+                     metavar="PER_KCYCLE",
+                     help="mean arrival rate, jobs per 1000 cycles "
+                          "(default 1.0)")
+    mcr.add_argument("--service", type=int, default=400,
+                     metavar="INSTRUCTIONS",
+                     help="committed instructions per job (default 400)")
+    mcr.add_argument("--trace", metavar="JSONL", default=None,
+                     help="read arrivals from a JSONL trace instead of "
+                          "the seeded distribution (one object per "
+                          "line: arrival, profile, service)")
+    mcr.add_argument("--quantum", type=int, default=200,
+                     help="driver scheduling quantum in cycles "
+                          "(default 200)")
+    mcr.add_argument("--max-cycles", type=int, default=200_000,
+                     help="horizon: stop even if jobs remain "
+                          "(default 200000)")
+    mcr.add_argument("--seed", type=int, default=0,
+                     help="arrival + allocator seed (default 0)")
+    mcr.add_argument("--check-invariants", action="store_true",
+                     help="attach the pipeline sanitizer to every core "
+                          "(driver invariants are always on)")
+    mcr.add_argument("--no-cache", action="store_true",
+                     help="bypass the multicore document cache")
+    mcr.add_argument("--json", metavar="PATH", default=None,
+                     help="write the schema-versioned multicore run "
+                          "document")
+
+    sub.add_parser(
+        "allocators",
+        help="list thread-to-core allocation policies",
     )
 
     sub.add_parser("list", help="list workloads, policies, experiments")
@@ -524,7 +608,10 @@ def cmd_experiment(args) -> int:
             data = experiment.compute(budget)
             experiment.render(data)
             if args.export:
-                if experiment.exportable:
+                if experiment.exporter is not None:
+                    for path in experiment.exporter(data, args.export):
+                        print(f"exported: {path}")
+                elif experiment.exportable:
                     for path in export.export_experiment(
                             name, data, args.export):
                         print(f"exported: {path}")
@@ -569,6 +656,31 @@ def cmd_experiment(args) -> int:
 
 def cmd_fuzz(args) -> int:
     from repro.verify import fuzz
+
+    if args.multicore:
+        log = None if args.quiet else (
+            lambda message: print(message, file=sys.stderr, flush=True)
+        )
+        summary = fuzz.multicore_fuzz_run(
+            seeds=args.seeds,
+            start_seed=args.start_seed,
+            max_cycles=args.max_cycles if args.max_cycles != 3000 else 6000,
+            log=log,
+        )
+        print("multicore " + summary.describe())
+        for failure in summary.failures:
+            print(f"  seed {failure.seed}: {failure.outcome.describe()}")
+            print(f"    case: {failure.case.to_dict()}")
+        if args.report and summary.failures:
+            first = summary.failures[0]
+            if first.outcome.violation:
+                export.write_violation_json(
+                    args.report, first.outcome.violation,
+                    case=first.case.to_dict(),
+                    context=f"multicore fuzz seed {first.seed}",
+                )
+                print(f"violation report: {args.report}")
+        return 0 if summary.clean else 1
 
     if args.replay:
         case, document = fuzz.load_corpus_case(args.replay)
@@ -786,7 +898,90 @@ def cmd_policies(_args) -> int:
     return 0
 
 
+def cmd_multicore(args) -> int:
+    """The ``repro multicore`` family (see docs/multicore.md)."""
+    from repro.core.config import SMTConfig as _SMTConfig
+    from repro.multicore.driver import (
+        ArrivalConfig,
+        MulticoreRunSpec,
+        load_trace,
+        run_open_system,
+    )
+
+    if args.trace:
+        trace, arrival = load_trace(args.trace), None
+    else:
+        trace = None
+        arrival = ArrivalConfig(
+            jobs=args.arrivals, rate_per_kcycle=args.rate,
+            service_instructions=args.service, seed=args.seed,
+        )
+    try:
+        spec = MulticoreRunSpec(
+            n_cores=args.cores,
+            allocator=args.allocator,
+            config=_SMTConfig(n_threads=args.contexts, seed=args.seed),
+            quantum=args.quantum,
+            max_cycles=args.max_cycles,
+            seed=args.seed,
+            arrival=arrival,
+            trace=trace,
+            check_invariants=args.check_invariants,
+        )
+        result = run_open_system(
+            spec, use_cache=False if args.no_cache else None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    latency = result.latency()
+    print(f"machine      : {result.n_cores} core(s) x "
+          f"{result.contexts_per_core} context(s), allocator "
+          f"{result.allocator}, quantum {result.quantum}")
+    print(f"jobs         : {result.jobs_completed}/{result.jobs_total} "
+          f"completed over {result.cycles} cycles"
+          + (f" ({result.unfinished} unfinished at the horizon)"
+             if result.unfinished else ""))
+    for kind in ("queue", "service", "total"):
+        p = latency[kind]
+        print(f"{kind:13s}: p50 {p['p50']:.0f}  p90 {p['p90']:.0f}  "
+              f"p99 {p['p99']:.0f} cycles")
+    print(f"throughput   : {result.throughput_per_kcycle:.2f} jobs/kcycle")
+    for core in result.cores:
+        print(f"core {core.core}       : {core.utilization:.1%} busy, "
+              f"{core.commits} commits, {core.jobs_served} job(s) served")
+    if args.check_invariants:
+        print("invariants   : clean (pipeline sanitizer on every core, "
+              "driver checks every quantum)")
+    if args.json:
+        document = export.write_multicore_json(args.json, result, spec=spec)
+        print(f"run document : {args.json} (schema {document['schema']} "
+              f"v{document['schema_version']})")
+    return 0
+
+
+def cmd_allocators(_args) -> int:
+    from repro.multicore.alloc import registry_entries
+
+    entries = registry_entries()
+    width = max(len(info.name) for info in entries)
+    print("thread-to-core allocation policies:")
+    for info in entries:
+        print(f"  {info.name:{width}s}  {info.summary}")
+        if info.params:
+            print(f"  {'':{width}s}  options: "
+                  f"{', '.join(sorted(info.params))}")
+    print()
+    print("spec grammar: NAME, NAME:key=value,...  "
+          "(e.g. PAIRING:miss_weight=2.0)")
+    print("used by     : repro multicore run --allocator, "
+          "repro experiment allocation")
+    return 0
+
+
 def cmd_list(_args) -> int:
+    from repro.multicore.alloc import allocator_names
     from repro.policy.registry import meta_policy_names, static_policy_names
 
     print("workloads   :", ", ".join(sorted(PROFILES)))
@@ -794,6 +989,8 @@ def cmd_list(_args) -> int:
     print("meta fetch  :", ", ".join(meta_policy_names()),
           "(see 'repro policies')")
     print("issue       :", ", ".join(ISSUE_POLICIES))
+    print("allocators  :", ", ".join(allocator_names()),
+          "(see 'repro allocators')")
     print("experiments :", ", ".join(sorted(EXPERIMENTS)), "+ all")
     return 0
 
@@ -807,6 +1004,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "perf": cmd_perf,
         "workload": cmd_workload,
         "policies": cmd_policies,
+        "multicore": cmd_multicore,
+        "allocators": cmd_allocators,
         "list": cmd_list,
     }
     return handlers[args.command](args)

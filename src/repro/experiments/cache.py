@@ -255,3 +255,92 @@ class ResultCache:
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "stores": self.stores, "quarantined": self.quarantined}
+
+
+# ----------------------------------------------------------------------
+# Generic JSON-document cache (multicore driver runs).
+# ----------------------------------------------------------------------
+def multicore_key(spec: Any) -> str:
+    """Content hash identifying one multicore driver run.
+
+    Hashes the spec's full fingerprint — allocator spec, arrival seed
+    (or trace contents), machine config, quantum, and the workload
+    profile knobs — so runs that differ in any input, notably the
+    allocation policy or the arrival seed, occupy distinct cache slots.
+    """
+    payload = {
+        "version": CACHE_SCHEMA_VERSION,
+        "package": repro.__version__,
+        "kind": "multicore",
+        "spec": spec.fingerprint(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class DocumentCache(ResultCache):
+    """A :class:`ResultCache` whose payloads are plain JSON documents.
+
+    Shares the directory layout, atomic writes, checksums, version
+    staleness handling, and corruption quarantine with the SimResult
+    store; only the payload (de)serialisation differs.  Entries are
+    suffixed ``.doc.json`` so the two stores never collide.
+    """
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.doc.json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, OSError):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        version = entry.get("version") if isinstance(entry, dict) else None
+        if version != CACHE_SCHEMA_VERSION:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        try:
+            document = entry["document"]
+            if entry.get("checksum") != _checksum(document):
+                raise ValueError("checksum mismatch")
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return document
+
+    def put(self, key: str, document: Mapping[str, Any]) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        document = dict(document)
+        entry = {
+            "version": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "checksum": _checksum(document),
+            "document": document,
+        }
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".json", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, separators=(",", ":"))
+            os.replace(tmp_path, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stores += 1

@@ -32,11 +32,15 @@ FigureData = Dict[str, List[ExperimentPoint]]
 #: the document layout or field meanings.
 #: v2: run documents gained an optional ``policy`` section (fetch-policy
 #: telemetry: spec, per-interval choice counts, switch events).
-SCHEMA_VERSION = 2
+#: v3: multicore documents (``repro.multicore`` single open-system runs,
+#: ``repro.multicore_experiment`` allocation studies).
+SCHEMA_VERSION = 3
 RUN_SCHEMA = "repro.run"
 EXPERIMENT_SCHEMA = "repro.experiment"
 VIOLATION_SCHEMA = "repro.violation"
 CAMPAIGN_SCHEMA = "repro.campaign"
+MULTICORE_SCHEMA = "repro.multicore"
+MULTICORE_EXPERIMENT_SCHEMA = "repro.multicore_experiment"
 
 #: SimResult scalar attributes exported per point.
 EXPORTED_METRICS = (
@@ -125,9 +129,14 @@ def as_figure_data(data: Any) -> FigureData:
 def _validate(document: Any, schema: str) -> Dict[str, Any]:
     if not isinstance(document, dict):
         raise ValueError(f"{schema} document must be a JSON object")
-    if document.get("schema") != schema:
+    found = document.get("schema")
+    if found != schema:
+        hint = ""
+        if isinstance(found, str) and found.startswith("repro.multicore"):
+            hint = (" (this is a multicore document; load it with "
+                    "load_multicore_json / load_multicore_experiment_json)")
         raise ValueError(
-            f"expected schema {schema!r}, got {document.get('schema')!r}"
+            f"expected schema {schema!r}, got {found!r}{hint}"
         )
     if document.get("schema_version") != SCHEMA_VERSION:
         raise ValueError(
@@ -311,6 +320,114 @@ def load_experiment_json(path: str) -> Dict[str, Any]:
     """Load and validate an :func:`export_experiment` JSON artifact."""
     with open(path, "r", encoding="utf-8") as handle:
         return _validate(json.load(handle), EXPERIMENT_SCHEMA)
+
+
+# ----------------------------------------------------------------------
+# Multicore documents (schema v3).
+# ----------------------------------------------------------------------
+def multicore_document(result: Any,
+                       spec: Optional[Any] = None) -> Dict[str, Any]:
+    """One open-system multicore run as a schema-versioned document.
+
+    ``result`` is a :class:`~repro.multicore.driver.MulticoreResult`
+    (or its ``to_dict()`` form — which embeds per-job latency records,
+    per-core utilization, the completion order, and the latency
+    percentile summary).  ``spec`` optionally embeds the full
+    :class:`~repro.multicore.driver.MulticoreRunSpec` fingerprint for
+    provenance, so an artifact is reproducible from itself.
+    """
+    payload = result if isinstance(result, dict) else result.to_dict()
+    document: Dict[str, Any] = {
+        "schema": MULTICORE_SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "result": payload,
+    }
+    if spec is not None:
+        document["spec"] = (
+            spec if isinstance(spec, dict) else spec.fingerprint()
+        )
+    return document
+
+
+def write_multicore_json(path: str, result: Any,
+                         spec: Optional[Any] = None) -> Dict[str, Any]:
+    document = multicore_document(result, spec=spec)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return document
+
+
+def load_multicore_json(path: str) -> Dict[str, Any]:
+    """Load and validate a :func:`write_multicore_json` artifact."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return _validate(json.load(handle), MULTICORE_SCHEMA)
+
+
+def multicore_experiment_document(name: str,
+                                  results: Sequence[Any]) -> Dict[str, Any]:
+    """An allocation study — many multicore runs — as one document.
+
+    Each row carries the run's identity (allocator, core count, seed)
+    plus its aggregate metrics; full per-run documents are embedded
+    under ``runs`` so the flat rows never go stale against the detail.
+    """
+    payloads = [
+        r if isinstance(r, dict) else r.to_dict() for r in results
+    ]
+    rows = []
+    for p in payloads:
+        latency = p.get("latency", {})
+        rows.append({
+            "allocator": p["allocator"],
+            "n_cores": p["n_cores"],
+            "contexts_per_core": p["contexts_per_core"],
+            "seed": p["seed"],
+            "cycles": p["cycles"],
+            "jobs_total": p["jobs_total"],
+            "jobs_completed": p["jobs_completed"],
+            "throughput_per_kcycle": p["throughput_per_kcycle"],
+            "mean_utilization": p["mean_utilization"],
+            "latency_total_p50": latency.get("total", {}).get("p50", 0.0),
+            "latency_total_p90": latency.get("total", {}).get("p90", 0.0),
+            "latency_total_p99": latency.get("total", {}).get("p99", 0.0),
+            "latency_queue_p50": latency.get("queue", {}).get("p50", 0.0),
+            "latency_queue_p99": latency.get("queue", {}).get("p99", 0.0),
+        })
+    return {
+        "schema": MULTICORE_EXPERIMENT_SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "experiment": name,
+        "rows": rows,
+        "runs": payloads,
+    }
+
+
+def export_multicore_experiment(name: str, results: Sequence[Any],
+                                directory: str) -> List[str]:
+    """Write ``<name>.json`` and ``<name>.csv`` for an allocation study.
+
+    Returns the written paths (mirrors :func:`export_experiment`).
+    """
+    os.makedirs(directory, exist_ok=True)
+    document = multicore_experiment_document(name, results)
+    json_path = os.path.join(directory, f"{name}.json")
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    csv_path = os.path.join(directory, f"{name}.csv")
+    rows = document["rows"]
+    with open(csv_path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+    return [json_path, csv_path]
+
+
+def load_multicore_experiment_json(path: str) -> Dict[str, Any]:
+    """Load and validate an :func:`export_multicore_experiment` artifact."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return _validate(json.load(handle), MULTICORE_EXPERIMENT_SCHEMA)
 
 
 def ascii_chart(

@@ -1,0 +1,354 @@
+"""Thread-to-core allocation policies: one authoritative registry.
+
+Every policy the multicore driver can run registers here with a
+one-line summary and a typed parameter schema, exactly like the
+fetch-policy registry (:mod:`repro.policy.registry`): the CLI's
+``repro allocators`` listing, spec validation, and the driver's
+allocator construction all read this table.
+
+Allocator specs are strings (they live in
+:class:`~repro.multicore.driver.MulticoreRunSpec`, flow through
+dataclass serialisation, and hash into multicore cache keys).
+Grammar::
+
+    NAME                          e.g.  ROUND_ROBIN
+    NAME:key=value,key=value      e.g.  PAIRING:miss_weight=2.0
+
+Unknown names, unknown keys, and malformed values all raise
+``ValueError`` naming the valid registry alternatives.
+
+Seeding: :func:`make_allocator` derives any internal randomness (the
+RANDOM policy's RNG) from ``crc32(seed, spec)`` — stable across
+processes and interpreter versions, so an allocator is a pure function
+of ``(seed, spec)`` and its observation stream.
+
+The policies:
+
+* ``RANDOM`` — seeded uniform choice among cores with a free context
+  (the baseline the allocation papers compare against).
+* ``ROUND_ROBIN`` — cycle through cores in index order, skipping full
+  ones.  With no core ever full, allocation counts across cores never
+  differ by more than one (the fairness invariant the property tests
+  pin).
+* ``LOAD`` — fewest resident threads, ties to the lowest core index.
+* ``PAIRING`` — SYNPA-style predicted-interference pairing: each
+  job carries a telemetry snapshot (IPC proxy, IQ pressure, miss rate
+  — collected per quantum by the driver through the same signal
+  machinery the adaptive fetch policies use), and the candidate goes to
+  the eligible core whose resident jobs' predicted interference with it
+  is smallest.  The interference estimate is a weighted dot product of
+  the candidate's and each resident's signals: two memory-bound jobs
+  (high miss rates) contend for MSHRs and cache capacity, two
+  queue-hungry jobs contend for IQ entries, two high-IPC jobs contend
+  for issue slots.  Ties fall back to LOAD order, so an untrained
+  snapshot (all zeros) degrades gracefully to load balancing.  The
+  decision is a pure function of the snapshots — identical telemetry,
+  identical choice.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+
+class AllocationError(ValueError):
+    """An allocator misbehaved (chose a full or unknown core)."""
+
+
+#: Telemetry snapshot keys every job carries (see
+#: :class:`repro.multicore.driver.Job`); missing keys read as 0.0.
+TELEMETRY_KEYS = ("ipc", "iq", "miss")
+
+
+@dataclass(frozen=True)
+class CoreView:
+    """What an allocator may observe about one core.
+
+    ``telemetry`` holds the resident jobs' signal snapshots (one mapping
+    per resident job, in residence order).
+    """
+
+    index: int
+    resident: int
+    capacity: int
+    telemetry: Tuple[Mapping[str, float], ...] = ()
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.resident
+
+
+def eligible_cores(cores: Sequence[CoreView]) -> Tuple[CoreView, ...]:
+    """Cores with at least one free hardware context."""
+    return tuple(core for core in cores if core.free > 0)
+
+
+# ----------------------------------------------------------------------
+# Policies.
+# ----------------------------------------------------------------------
+class Allocator:
+    """Base class: pick a core for one job.
+
+    ``choose`` is called only when at least one core has a free
+    context; it must return the index of such a core.  Policies keep
+    any internal state (cursors, RNGs) on the instance, so an allocator
+    is reusable across a whole driver run but never across runs.
+    """
+
+    name = "?"
+    description = ""
+
+    def __init__(self) -> None:
+        self.spec = self.name
+
+    def choose(self, job: Any, cores: Sequence[CoreView]) -> int:
+        raise NotImplementedError
+
+    def telemetry_snapshot(self, job: Any) -> Mapping[str, float]:
+        """The job's signal snapshot (empty mapping if untracked)."""
+        return getattr(job, "telemetry", None) or {}
+
+
+class RandomAllocator(Allocator):
+    name = "RANDOM"
+    description = ("seeded uniform choice among cores with a free "
+                   "context (baseline)")
+
+    def __init__(self, rng_seed: int = 0):
+        super().__init__()
+        self.rng = random.Random(rng_seed)
+
+    def choose(self, job, cores):
+        candidates = eligible_cores(cores)
+        if not candidates:
+            raise AllocationError("no core has a free context")
+        return self.rng.choice(candidates).index
+
+
+class RoundRobinAllocator(Allocator):
+    name = "ROUND_ROBIN"
+    description = ("cycle cores in index order, skipping full ones "
+                   "(fair by construction)")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cursor = 0
+
+    def choose(self, job, cores):
+        n = len(cores)
+        for step in range(n):
+            core = cores[(self._cursor + step) % n]
+            if core.free > 0:
+                self._cursor = (core.index + 1) % n
+                return core.index
+        raise AllocationError("no core has a free context")
+
+
+class LoadAllocator(Allocator):
+    name = "LOAD"
+    description = "fewest resident threads, ties to the lowest core index"
+
+    def choose(self, job, cores):
+        candidates = eligible_cores(cores)
+        if not candidates:
+            raise AllocationError("no core has a free context")
+        return min(candidates, key=lambda c: (c.resident, c.index)).index
+
+
+class PairingAllocator(Allocator):
+    name = "PAIRING"
+    description = ("SYNPA-style predicted-interference pairing from "
+                   "per-thread telemetry (IPC, IQ pressure, miss rate)")
+
+    def __init__(self, miss_weight: float = 1.0, iq_weight: float = 0.5,
+                 ipc_weight: float = 0.25):
+        super().__init__()
+        if min(miss_weight, iq_weight, ipc_weight) < 0:
+            raise ValueError("PAIRING weights must be non-negative")
+        self.miss_weight = miss_weight
+        self.iq_weight = iq_weight
+        self.ipc_weight = ipc_weight
+
+    # ------------------------------------------------------------------
+    def interference(self, candidate: Mapping[str, float],
+                     resident: Mapping[str, float]) -> float:
+        """Predicted slowdown of co-scheduling two jobs (unitless)."""
+        c_ipc = candidate.get("ipc", 0.0)
+        r_ipc = resident.get("ipc", 0.0)
+        return (
+            self.miss_weight * candidate.get("miss", 0.0)
+            * resident.get("miss", 0.0)
+            + self.iq_weight * candidate.get("iq", 0.0)
+            * resident.get("iq", 0.0)
+            # IPC proxies are in instructions/cycle, not [0, 1];
+            # normalise by the paper's 8-wide issue ceiling.
+            + self.ipc_weight * (c_ipc / 8.0) * (r_ipc / 8.0)
+        )
+
+    def score(self, candidate: Mapping[str, float], core: CoreView) -> float:
+        return sum(
+            self.interference(candidate, resident)
+            for resident in core.telemetry
+        )
+
+    def choose(self, job, cores):
+        candidates = eligible_cores(cores)
+        if not candidates:
+            raise AllocationError("no core has a free context")
+        snapshot = self.telemetry_snapshot(job)
+        return min(
+            candidates,
+            key=lambda c: (self.score(snapshot, c), c.resident, c.index),
+        ).index
+
+
+# ----------------------------------------------------------------------
+# Registry.
+# ----------------------------------------------------------------------
+def _float(key: str, value: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise ValueError(
+            f"allocator option {key}={value!r} is not a number"
+        )
+
+
+@dataclass(frozen=True)
+class AllocatorInfo:
+    """One registry row."""
+
+    name: str
+    summary: str
+    #: Factory(params, rng_seed) -> Allocator.
+    factory: Callable[..., Allocator]
+    #: Allowed ``key=value`` options and their converters.
+    params: Mapping[str, Callable[[str, str], Any]] = field(
+        default_factory=dict
+    )
+
+
+_REGISTRY: Dict[str, AllocatorInfo] = {}
+
+
+def _register(info: AllocatorInfo) -> None:
+    if info.name in _REGISTRY:
+        raise ValueError(f"duplicate allocator registration {info.name!r}")
+    _REGISTRY[info.name] = info
+
+
+_register(AllocatorInfo(
+    name=RandomAllocator.name, summary=RandomAllocator.description,
+    factory=lambda params, rng_seed: RandomAllocator(rng_seed=rng_seed),
+))
+_register(AllocatorInfo(
+    name=RoundRobinAllocator.name, summary=RoundRobinAllocator.description,
+    factory=lambda params, rng_seed: RoundRobinAllocator(),
+))
+_register(AllocatorInfo(
+    name=LoadAllocator.name, summary=LoadAllocator.description,
+    factory=lambda params, rng_seed: LoadAllocator(),
+))
+_register(AllocatorInfo(
+    name=PairingAllocator.name, summary=PairingAllocator.description,
+    factory=lambda params, rng_seed: PairingAllocator(**params),
+    params={"miss_weight": _float, "iq_weight": _float,
+            "ipc_weight": _float},
+))
+
+
+# ----------------------------------------------------------------------
+# Introspection.
+# ----------------------------------------------------------------------
+def allocator_names() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def registry_entries() -> Tuple[AllocatorInfo, ...]:
+    return tuple(_REGISTRY[name] for name in allocator_names())
+
+
+def get_info(name: str) -> AllocatorInfo:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(_unknown_message(name))
+
+
+def _unknown_message(name: str) -> str:
+    return (
+        f"unknown allocation policy {name!r}; valid allocators: "
+        f"{', '.join(allocator_names())} "
+        f"(run 'repro allocators' for descriptions)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Spec parsing and construction.
+# ----------------------------------------------------------------------
+def parse_alloc_spec(spec: str) -> Tuple[str, Dict[str, str]]:
+    """Split ``spec`` into (name, raw option strings)."""
+    if not spec or not isinstance(spec, str):
+        raise ValueError(
+            f"allocator spec must be a non-empty string, got {spec!r}"
+        )
+    name, sep, rest = spec.partition(":")
+    params: Dict[str, str] = {}
+    if sep:
+        if not rest:
+            raise ValueError(f"empty options in allocator spec {spec!r}")
+        for pair in rest.split(","):
+            key, eq, value = pair.partition("=")
+            if not eq or not key or not value:
+                raise ValueError(
+                    f"malformed allocator option {pair!r} in {spec!r} "
+                    f"(expected key=value)"
+                )
+            if key in params:
+                raise ValueError(
+                    f"duplicate allocator option {key!r} in {spec!r}"
+                )
+            params[key] = value
+    return name, params
+
+
+def make_allocator(spec: str, seed: int = 0) -> Allocator:
+    """Build the allocator a spec describes.
+
+    Raises ``ValueError`` (listing valid registry names/options) on any
+    problem, so drivers and the CLI can validate specs up front.
+    """
+    name, raw_params = parse_alloc_spec(spec)
+    info = _REGISTRY.get(name)
+    if info is None:
+        raise ValueError(_unknown_message(name))
+    params: Dict[str, Any] = {}
+    for key, value in raw_params.items():
+        converter = info.params.get(key)
+        if converter is None:
+            valid = ", ".join(sorted(info.params)) or "(none)"
+            raise ValueError(
+                f"unknown option {key!r} for allocator {name} "
+                f"(valid options: {valid})"
+            )
+        params[key] = converter(key, value)
+    rng_seed = zlib.crc32(f"{seed}|{spec}".encode("utf-8"))
+    allocator = info.factory(params, rng_seed)
+    allocator.spec = spec
+    return allocator
+
+
+def validate_alloc_spec(spec: str) -> str:
+    """Validate an allocator spec; returns the allocator name."""
+    return make_allocator(spec, seed=0).name

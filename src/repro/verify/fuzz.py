@@ -549,3 +549,155 @@ def fuzz_run(
 
     summary.elapsed = time.perf_counter() - started
     return summary
+
+
+# ----------------------------------------------------------------------
+# Multicore fuzzing: the allocation layer under the same sanitizers.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MulticoreFuzzCase:
+    """One open-system multicore fuzz point (pure function of seed).
+
+    Extends the fuzz config space with the multicore axes — core count
+    and allocator spec — and runs the whole open-system driver with a
+    :class:`PipelineSanitizer` on every core *and* the driver's own
+    allocation-layer invariants armed every quantum.
+    """
+
+    seed: int
+    n_cores: int
+    contexts_per_core: int
+    allocator: str
+    jobs: int
+    rate_per_kcycle: float
+    service_instructions: int
+    quantum: int
+    max_cycles: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    def run_spec(self):
+        from repro.multicore.driver import ArrivalConfig, MulticoreRunSpec
+
+        return MulticoreRunSpec(
+            n_cores=self.n_cores,
+            allocator=self.allocator,
+            config=SMTConfig(n_threads=self.contexts_per_core,
+                             seed=self.seed),
+            quantum=self.quantum,
+            max_cycles=self.max_cycles,
+            seed=self.seed,
+            arrival=ArrivalConfig(
+                jobs=self.jobs,
+                rate_per_kcycle=self.rate_per_kcycle,
+                service_instructions=self.service_instructions,
+                seed=self.seed,
+            ),
+            check_invariants=True,
+        )
+
+
+#: Allocator specs the multicore fuzzer draws from: every registry name
+#: plus parameterised PAIRING corners.
+def _multicore_fuzz_allocators() -> Tuple[str, ...]:
+    from repro.multicore.alloc import allocator_names
+
+    return allocator_names() + (
+        "PAIRING:miss_weight=4.0",
+        "PAIRING:miss_weight=0.0,iq_weight=2.0",
+        "PAIRING:ipc_weight=1.0",
+    )
+
+
+def generate_multicore_case(seed: int,
+                            max_cycles: int = 6000) -> MulticoreFuzzCase:
+    """Derive a multicore case from ``seed`` (pure: same seed, same case)."""
+    rng = random.Random(0x3C0DE000 + seed)
+    return MulticoreFuzzCase(
+        seed=seed,
+        n_cores=rng.choice((1, 1, 2, 2, 3)),
+        contexts_per_core=rng.choice((1, 2, 2)),
+        allocator=rng.choice(_multicore_fuzz_allocators()),
+        jobs=rng.choice((2, 3, 3, 4, 5)),
+        rate_per_kcycle=rng.choice((0.5, 1.0, 2.0, 4.0)),
+        service_instructions=rng.choice((100, 200, 300, 400)),
+        quantum=rng.choice((100, 150, 200, 250)),
+        max_cycles=max_cycles,
+    )
+
+
+def run_multicore_case(case: MulticoreFuzzCase) -> FuzzOutcome:
+    """Run one multicore case under every sanitizer; never raises on a
+    sim bug.
+
+    Cores carry the pipeline sanitizer (structural invariants + shadow
+    oracle), and the driver checks its allocation-layer invariants at
+    the end of every quantum, so both a pipeline breach and an
+    allocation-bookkeeping breach surface as failing outcomes.
+    """
+    from repro.multicore.driver import (
+        DriverInvariantError,
+        OpenSystemDriver,
+    )
+
+    try:
+        driver = OpenSystemDriver(case.run_spec())
+        result = driver.run()
+    except InvariantViolation as violation:
+        return FuzzOutcome(
+            ok=False, status="violation", cycles_run=0, commits=0,
+            violation=violation.to_dict(),
+        )
+    except DriverInvariantError as exc:
+        return FuzzOutcome(
+            ok=False, status="error", cycles_run=0, commits=0,
+            error=f"DriverInvariantError: {exc}",
+        )
+    except Exception as exc:  # noqa: BLE001 - the fuzzer reports anything
+        return FuzzOutcome(
+            ok=False, status="error", cycles_run=0, commits=0,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    commits = sum(core.commits for core in result.cores)
+    if commits == 0 and case.max_cycles >= _STALL_CYCLES:
+        return FuzzOutcome(
+            ok=False, status="stalled", cycles_run=result.cycles, commits=0,
+        )
+    return FuzzOutcome(
+        ok=True, status="ok", cycles_run=result.cycles, commits=commits,
+    )
+
+
+def multicore_fuzz_run(
+    seeds: int = 10,
+    start_seed: int = 0,
+    max_cycles: int = 6000,
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzSummary:
+    """Fuzz the multicore allocation surface over consecutive seeds.
+
+    Returns the same :class:`FuzzSummary` shape as :func:`fuzz_run`
+    (failures carry the :class:`MulticoreFuzzCase`; multicore cases are
+    already tiny, so there is no shrinking pass).
+    """
+    started = time.perf_counter()
+    say = log or (lambda message: None)
+    summary = FuzzSummary(seeds=seeds, ok=0)
+    for seed in range(start_seed, start_seed + seeds):
+        case = generate_multicore_case(seed, max_cycles=max_cycles)
+        outcome = run_multicore_case(case)
+        summary.total_commits += outcome.commits
+        summary.total_cycles += outcome.cycles_run
+        if outcome.ok:
+            summary.ok += 1
+            say(f"seed {seed}: {outcome.describe()} "
+                f"[{case.allocator} x{case.n_cores}]")
+            continue
+        say(f"seed {seed} FAILED: {outcome.describe()} "
+            f"[{case.allocator} x{case.n_cores}]")
+        summary.failures.append(FuzzFailure(
+            seed=seed, case=case, outcome=outcome, original_case=case,
+        ))
+    summary.elapsed = time.perf_counter() - started
+    return summary

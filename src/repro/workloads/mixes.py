@@ -29,11 +29,19 @@ def benchmark_rotation(n_threads: int, run_index: int) -> List[str]:
 _PROGRAM_CACHE = {}
 
 
-def _cached_program(name: str, seed: int) -> Program:
+def cached_program(name: str, seed: int = 0) -> Program:
+    """The (memoised) generated program for one profile name.
+
+    Shared by the rotation mixes and the multicore driver, which
+    regenerates the same job programs across core rebuilds.
+    """
     key = (name, seed)
     if key not in _PROGRAM_CACHE:
         _PROGRAM_CACHE[key] = generate_program(PROFILES[name], seed=seed)
     return _PROGRAM_CACHE[key]
+
+
+_cached_program = cached_program
 
 
 def standard_mix(n_threads: int, run_index: int = 0, seed: int = 0) -> List[Program]:

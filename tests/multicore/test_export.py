@@ -1,0 +1,168 @@
+"""Export and spec-grammar edge cases for the multicore layer.
+
+* allocator spec grammar errors name the valid registry entries;
+* the multicore loaders reject unknown schemas and versions;
+* ``load_experiment_json`` rejects multicore documents (pointing at the
+  right loader) instead of silently misreading them.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import SMTConfig
+from repro.experiments import export
+from repro.multicore.alloc import (
+    allocator_names,
+    make_allocator,
+    parse_alloc_spec,
+    validate_alloc_spec,
+)
+from repro.multicore.driver import (
+    ArrivalConfig,
+    MulticoreRunSpec,
+    OpenSystemDriver,
+)
+
+
+def tiny_result():
+    spec = MulticoreRunSpec(
+        n_cores=2, allocator="LOAD", config=SMTConfig(n_threads=2),
+        quantum=150, max_cycles=10_000, seed=2,
+        arrival=ArrivalConfig(jobs=3, rate_per_kcycle=2.0,
+                              service_instructions=150, seed=2),
+    )
+    return spec, OpenSystemDriver(spec).run()
+
+
+# ----------------------------------------------------------------------
+# Spec grammar errors list the registry.
+# ----------------------------------------------------------------------
+def test_unknown_allocator_error_lists_registry_names():
+    with pytest.raises(ValueError) as excinfo:
+        make_allocator("BOGUS")
+    message = str(excinfo.value)
+    for name in allocator_names():
+        assert name in message
+    assert "repro allocators" in message
+
+
+def test_unknown_allocator_in_run_spec_lists_registry_names():
+    with pytest.raises(ValueError) as excinfo:
+        MulticoreRunSpec(
+            n_cores=1, allocator="NOPE", config=SMTConfig(n_threads=1),
+            arrival=ArrivalConfig(jobs=1, rate_per_kcycle=1.0,
+                                  service_instructions=100),
+        )
+    for name in allocator_names():
+        assert name in str(excinfo.value)
+
+
+@pytest.mark.parametrize("spec,fragment", [
+    ("PAIRING:miss_weight", "malformed allocator option"),
+    ("PAIRING:=1.0", "malformed allocator option"),
+    ("PAIRING:", "empty options"),
+    ("PAIRING:miss_weight=1.0,miss_weight=2.0", "duplicate"),
+    ("PAIRING:miss_weight=abc", "not a number"),
+    ("PAIRING:bogus_knob=1.0", "valid options"),
+    ("LOAD:anything=1", "valid options: (none)"),
+    ("", "non-empty string"),
+])
+def test_malformed_spec_errors_are_specific(spec, fragment):
+    with pytest.raises(ValueError) as excinfo:
+        validate_alloc_spec(spec)
+    assert fragment in str(excinfo.value)
+
+
+def test_parse_alloc_spec_round_trip():
+    name, params = parse_alloc_spec("PAIRING:miss_weight=2.0,iq_weight=0.1")
+    assert name == "PAIRING"
+    assert params == {"miss_weight": "2.0", "iq_weight": "0.1"}
+    allocator = make_allocator("PAIRING:miss_weight=2.0")
+    assert allocator.miss_weight == 2.0
+    assert allocator.spec == "PAIRING:miss_weight=2.0"
+
+
+def test_negative_pairing_weight_rejected():
+    with pytest.raises(ValueError, match="non-negative"):
+        make_allocator("PAIRING:miss_weight=-1.0")
+
+
+# ----------------------------------------------------------------------
+# Multicore documents: write, load, reject.
+# ----------------------------------------------------------------------
+def test_multicore_document_round_trip(tmp_path):
+    spec, result = tiny_result()
+    path = tmp_path / "run.json"
+    written = export.write_multicore_json(str(path), result, spec=spec)
+    loaded = export.load_multicore_json(str(path))
+    # Compare through a JSON round trip: profile tuples become lists.
+    assert loaded == json.loads(json.dumps(written))
+    assert loaded["schema"] == export.MULTICORE_SCHEMA
+    assert loaded["schema_version"] == export.SCHEMA_VERSION
+    assert loaded["result"]["allocator"] == "LOAD"
+    assert loaded["spec"]["allocator"] == "LOAD"
+    assert "latency" in loaded["result"]
+    assert len(loaded["result"]["cores"]) == 2
+
+
+def test_multicore_loader_rejects_unknown_schema_version(tmp_path):
+    spec, result = tiny_result()
+    path = tmp_path / "run.json"
+    document = export.write_multicore_json(str(path), result)
+    document["schema_version"] = export.SCHEMA_VERSION + 1
+    path.write_text(json.dumps(document))
+    with pytest.raises(ValueError, match="unsupported .* schema version"):
+        export.load_multicore_json(str(path))
+
+
+def test_multicore_loader_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "wrong.json"
+    path.write_text(json.dumps({
+        "schema": export.EXPERIMENT_SCHEMA,
+        "schema_version": export.SCHEMA_VERSION,
+        "rows": [],
+    }))
+    with pytest.raises(ValueError, match="expected schema"):
+        export.load_multicore_json(str(path))
+
+
+def test_load_experiment_json_rejects_multicore_documents(tmp_path):
+    """The classic experiment loader must refuse a multicore document —
+    naming the loader that accepts it — and refuse unknown versions."""
+    _, result = tiny_result()
+    path = tmp_path / "allocation.json"
+    export.write_multicore_json(str(path), result)
+    with pytest.raises(ValueError) as excinfo:
+        export.load_experiment_json(str(path))
+    assert "multicore" in str(excinfo.value)
+    assert "load_multicore_json" in str(excinfo.value)
+
+    stale = tmp_path / "stale.json"
+    stale.write_text(json.dumps({
+        "schema": export.MULTICORE_EXPERIMENT_SCHEMA,
+        "schema_version": 999,
+        "rows": [],
+    }))
+    with pytest.raises(ValueError):
+        export.load_experiment_json(str(stale))
+    with pytest.raises(ValueError, match="unsupported"):
+        export.load_multicore_experiment_json(str(stale))
+
+
+def test_multicore_experiment_export_round_trip(tmp_path):
+    _, result_a = tiny_result()
+    documents = [result_a.to_dict(), result_a.to_dict()]
+    paths = export.export_multicore_experiment(
+        "allocation", documents, str(tmp_path)
+    )
+    assert [p.endswith("allocation.json") for p in paths] == [True, False]
+    loaded = export.load_multicore_experiment_json(paths[0])
+    assert loaded["schema"] == export.MULTICORE_EXPERIMENT_SCHEMA
+    assert len(loaded["rows"]) == 2
+    assert loaded["rows"][0]["allocator"] == "LOAD"
+    assert loaded["rows"][0]["latency_total_p50"] \
+        == result_a.latency()["total"]["p50"]
+    with open(paths[1]) as handle:
+        header = handle.readline()
+    assert "latency_total_p99" in header

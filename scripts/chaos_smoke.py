@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Chaos smoke test: SIGKILL a real worker mid-lease, verify recovery.
+
+The in-process chaos suite (``tests/verify/test_chaos.py``) covers
+every fault kind deterministically, but on a virtual clock with
+simulated kills.  This script supplies the one guarantee only a real
+process can give: a worker that dies by **actual SIGKILL** — no atexit
+hooks, no flushed buffers, a live ``flock`` holder vanishing — costs
+the campaign nothing but one lease TTL.
+
+Sequence:
+
+1. Build the fault-free baseline: run the same campaign spec grid in a
+   pristine directory with a healthy worker, capture the canonical
+   report bytes.
+2. Submit the grid to a fresh campaign and start a *victim*
+   ``repro worker`` armed with a chaos plan (``kill_after_claims: 1``)
+   — it SIGKILLs itself immediately after its first successful claim,
+   mid-lease, with the task neither finished nor released.
+3. Verify the victim really died by signal, then start a *rescuer*
+   worker with ``--drain``.  It must reclaim the orphaned lease after
+   the TTL and complete every task.
+4. Assert every task is ``done`` and the recovered campaign's report is
+   **bit-identical** to the fault-free baseline.
+
+Run:  PYTHONPATH=src python scripts/chaos_smoke.py [--threads 2]
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+
+from repro.core.config import SMTConfig
+from repro.experiments import export
+from repro.experiments.parallel import RunSpec
+from repro.experiments.runner import RunBudget
+from repro.sched.campaign import (
+    CampaignConfig,
+    campaign_report,
+    describe_status,
+    submit_specs,
+)
+from repro.sched.state import load_state
+
+#: Two tiny runs: enough for the victim to orphan one task mid-lease
+#: while the other still exercises the normal path on the rescuer.
+SMOKE_BUDGET = RunBudget(warmup_cycles=200, measure_cycles=1000,
+                         functional_warmup_instructions=5000, rotations=1)
+
+
+def smoke_specs(threads: int):
+    return [
+        RunSpec(config=SMTConfig(n_threads=threads), rotation=rotation,
+                budget=SMOKE_BUDGET)
+        for rotation in range(2)
+    ]
+
+
+def worker_argv(directory: str, chaos_plan: str = "",
+                drain: bool = False, worker_id: str = "") -> list:
+    argv = [sys.executable, "-m", "repro", "worker", directory,
+            "--poll", "0.1"]
+    if worker_id:
+        argv += ["--id", worker_id]
+    if chaos_plan:
+        argv += ["--chaos", chaos_plan]
+    if drain:
+        argv += ["--drain"]
+    return argv
+
+
+def run_campaign_to_report(directory: str, specs, env,
+                           lease_ttl: float) -> bytes:
+    """Submit + drain ``specs`` with one healthy worker; report bytes."""
+    submit_specs(directory, specs,
+                 CampaignConfig(name="chaos-smoke", lease_ttl=lease_ttl))
+    subprocess.run(worker_argv(directory, drain=True, worker_id="healthy"),
+                   env=env, check=True, stdout=subprocess.DEVNULL,
+                   timeout=600)
+    return export.fabric_report_bytes(campaign_report(directory))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument("--lease-ttl", type=float, default=5.0,
+                        help="victim lease TTL: the recovery delay the "
+                             "smoke pays (default 5s)")
+    args = parser.parse_args()
+
+    workdir = tempfile.mkdtemp(prefix="repro-chaos-smoke-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(os.path.dirname(__file__), os.pardir,
+                                 "src"),
+                    env.get("PYTHONPATH", "")) if p)
+    env["REPRO_CACHE_DIR"] = os.path.join(workdir, "cache")
+    specs = smoke_specs(args.threads)
+
+    print(f"[1/3] fault-free baseline ({len(specs)} runs)")
+    baseline_dir = os.path.join(workdir, "baseline")
+    baseline = run_campaign_to_report(baseline_dir, specs, env,
+                                      args.lease_ttl)
+
+    print("[2/3] victim worker armed with kill_after_claims=1")
+    chaos_dir = os.path.join(workdir, "chaos")
+    submit_specs(chaos_dir, specs,
+                 CampaignConfig(name="chaos-smoke",
+                                lease_ttl=args.lease_ttl))
+    plan_path = os.path.join(workdir, "plan.json")
+    with open(plan_path, "w", encoding="utf-8") as handle:
+        json.dump({"kill_after_claims": 1}, handle)
+    victim = subprocess.run(
+        worker_argv(chaos_dir, chaos_plan=plan_path, worker_id="victim"),
+        env=env, stdout=subprocess.DEVNULL, timeout=600,
+    )
+    if victim.returncode != -signal.SIGKILL:
+        print(f"FAIL: victim exited {victim.returncode}, expected "
+              f"-{int(signal.SIGKILL)} (SIGKILL)", file=sys.stderr)
+        return 1
+    state = load_state(chaos_dir)
+    leased = [t for t in state.iter_tasks() if t.status == "leased"]
+    if not leased:
+        print("FAIL: victim died without leaving an orphaned lease — "
+              "the smoke exercised nothing", file=sys.stderr)
+        print(describe_status(state), file=sys.stderr)
+        return 1
+    print(f"      victim SIGKILLed mid-lease, task "
+          f"{leased[0].key[:12]} orphaned")
+
+    print(f"[3/3] rescuer drains the campaign (waits out the "
+          f"{args.lease_ttl:.0f}s TTL)")
+    subprocess.run(worker_argv(chaos_dir, drain=True, worker_id="rescuer"),
+                   env=env, check=True, stdout=subprocess.DEVNULL,
+                   timeout=600)
+
+    state = load_state(chaos_dir)
+    print(describe_status(state))
+    counts = state.counts()
+    if counts["done"] != len(specs):
+        print(f"FAIL: {counts['done']}/{len(specs)} done after recovery",
+              file=sys.stderr)
+        return 1
+    suspects = {w for t in state.iter_tasks() for w in t.suspects}
+    if not any(s.startswith("victim") or s == "victim" for s in suspects):
+        print(f"FAIL: victim never entered a suspect set ({suspects}) — "
+              "recovery happened without a reclaim?", file=sys.stderr)
+        return 1
+    recovered = export.fabric_report_bytes(campaign_report(chaos_dir))
+    if recovered != baseline:
+        print("FAIL: recovered report differs from fault-free baseline",
+              file=sys.stderr)
+        return 1
+    print(f"chaos smoke OK: worker SIGKILLed mid-lease, lease reclaimed, "
+          f"{counts['done']}/{len(specs)} done, report bit-identical "
+          f"to baseline ({len(recovered)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,11 @@ Usage::
     python -m repro experiment fig4 --timeout 300 --max-retries 2 \
         --report campaign.json
     python -m repro experiment fig4 --resume ~/.cache/repro-smt/campaigns/fig4.jsonl
+    python -m repro experiment fig3 --fast --fabric [--jobs N]
+    python -m repro campaign submit runs/ --threads 8 --rotations 4 --fast
+    python -m repro campaign status runs/ [--reclaim]
+    python -m repro campaign drain runs/ --jobs 2 --report report.json
+    python -m repro worker runs/ --drain [--id w0] [--chaos plan.json]
     python -m repro fuzz --seeds 25 --max-cycles 3000 [--jobs N]
     python -m repro fuzz --seeds 500 --journal fuzz.jsonl --timeout 120
     python -m repro fuzz --seeds 500 --resume fuzz.jsonl
@@ -263,6 +268,14 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--report", metavar="PATH", default=None,
                      help="write the schema-versioned campaign "
                           "fault-tolerance report as JSON")
+    exp.add_argument("--fabric", action="store_true",
+                     help="route the study's runs through the durable "
+                          "campaign scheduler (journal-backed queue, "
+                          "lease-holding workers, crash recovery; "
+                          "see docs/fabric.md)")
+    exp.add_argument("--fabric-dir", metavar="DIR", default=None,
+                     help="campaign directory for --fabric (default: "
+                          "<cache dir>/fabric/<batch digest>)")
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -375,6 +388,90 @@ def build_parser() -> argparse.ArgumentParser:
                     help="dynamic instructions to characterise")
     wl.add_argument("--listing", action="store_true",
                     help="print the first 40 lines of disassembly")
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve a campaign directory: claim tasks under TTL "
+             "leases, execute, journal completion",
+    )
+    worker.add_argument("directory", metavar="JOURNAL_DIR",
+                        help="campaign directory (journal + lock + "
+                             "default result store)")
+    worker.add_argument("--id", dest="worker_id", default=None,
+                        help="worker identity in the journal "
+                             "(default: host-pid-suffix)")
+    worker.add_argument("--drain", action="store_true",
+                        help="exit once every task is terminal instead "
+                             "of polling for new submissions")
+    worker.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                        help="exit after completing N tasks")
+    worker.add_argument("--poll", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="idle poll interval (default 0.5)")
+    worker.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="content-addressed result store (default: "
+                             "<JOURNAL_DIR>/results)")
+    worker.add_argument("--chaos", metavar="PLAN.json", default=None,
+                        help="arm self-inflicted faults from a chaos "
+                             "plan (testing only: SIGKILL mid-lease, "
+                             "dropped heartbeats)")
+
+    camp = sub.add_parser(
+        "campaign",
+        help="submit to / inspect / drain a durable run campaign",
+    )
+    csub = camp.add_subparsers(dest="campaign_command", required=True)
+
+    csubmit = csub.add_parser(
+        "submit", help="append a grid of runs to a campaign queue")
+    csubmit.add_argument("directory", metavar="JOURNAL_DIR")
+    csubmit.add_argument("--threads", type=int, default=8,
+                         help="hardware contexts per run (default 8)")
+    csubmit.add_argument("--policy", type=_fetch_policy_spec,
+                         default="ICOUNT", metavar="SPEC",
+                         help="fetch policy for the submitted runs")
+    csubmit.add_argument("--rotations", type=int, default=1, metavar="K",
+                         help="submit workload rotations 0..K-1 "
+                              "(default 1)")
+    csubmit.add_argument("--seed", type=int, default=0,
+                         help="config seed (default 0)")
+    csubmit.add_argument("--fast", action="store_true",
+                         help="small per-run budget")
+    csubmit.add_argument("--full", action="store_true",
+                         help="large per-run budget")
+    csubmit.add_argument("--name", default=None,
+                         help="campaign name (default: directory name)")
+    csubmit.add_argument("--lease-ttl", type=float, default=60.0,
+                         metavar="SECONDS",
+                         help="worker lease TTL (default 60)")
+    csubmit.add_argument("--max-attempts", type=int, default=3,
+                         metavar="N",
+                         help="executions per task before it fails for "
+                              "good (default 3)")
+    csubmit.add_argument("--poison-threshold", type=int, default=3,
+                         metavar="K",
+                         help="distinct dead workers that quarantine a "
+                              "task as poison (default 3)")
+
+    cstatus = csub.add_parser(
+        "status", help="replay the journal and print campaign state")
+    cstatus.add_argument("directory", metavar="JOURNAL_DIR")
+    cstatus.add_argument("--reclaim", action="store_true",
+                         help="also reclaim expired leases (requeue / "
+                              "quarantine / fail them) before printing")
+
+    cdrain = csub.add_parser(
+        "drain", help="run workers until every task is terminal, then "
+                      "print the campaign report")
+    cdrain.add_argument("directory", metavar="JOURNAL_DIR")
+    cdrain.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1, in-process)")
+    cdrain.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="content-addressed result store (default: "
+                             "<JOURNAL_DIR>/results)")
+    cdrain.add_argument("--report", metavar="PATH", default=None,
+                        help="write the canonical campaign report "
+                             "document as JSON")
 
     sub.add_parser(
         "policies",
@@ -578,6 +675,11 @@ def cmd_experiment(args) -> int:
         progress=parallel.progress_printer() if args.progress else None,
         check_invariants=True if args.check_invariants else None,
     )
+    fabric_mod = None
+    if args.fabric or args.fabric_dir:
+        from repro.sched import fabric as fabric_mod
+
+        fabric_mod.configure(fabric=True, fabric_dir=args.fabric_dir)
     supervising = bool(
         args.timeout is not None or args.max_retries is not None
         or args.journal or args.resume or args.report
@@ -627,6 +729,8 @@ def cmd_experiment(args) -> int:
             supervise.configure(supervise=None, timeout=None,
                                 max_retries=None, journal_path=None,
                                 resume_path=None)
+        if fabric_mod is not None:
+            fabric_mod.configure(fabric=None, fabric_dir=None)
 
     if not supervising:
         return 130 if interrupted else 0
@@ -729,6 +833,98 @@ def cmd_fuzz(args) -> int:
             )
             print(f"violation report: {args.report}")
     return 0 if summary.clean else 1
+
+
+def cmd_worker(args) -> int:
+    """Serve one campaign directory (see docs/fabric.md)."""
+    from repro.experiments.cache import ResultCache
+    from repro.sched.worker import Worker
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    worker = Worker(args.directory, cache=cache, worker_id=args.worker_id,
+                    poll_interval=args.poll)
+    if args.chaos:
+        import json as _json
+
+        from repro.verify.chaos import install_process_faults
+
+        with open(args.chaos, "r", encoding="utf-8") as handle:
+            install_process_faults(worker, _json.load(handle))
+        print(f"worker {worker.worker_id}: chaos plan {args.chaos} armed",
+              file=sys.stderr)
+    served = worker.serve(drain=args.drain, max_tasks=args.max_tasks)
+    print(f"worker {worker.worker_id}: {served} task(s) completed")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    """The ``repro campaign`` family (see docs/fabric.md)."""
+    import os as _os
+
+    from repro.experiments.cache import ResultCache
+    from repro.sched import campaign as campaign_mod
+    from repro.sched.state import load_state
+
+    if args.campaign_command == "submit":
+        from repro.experiments.parallel import RunSpec
+
+        if args.fast:
+            budget = RunBudget(warmup_cycles=1000, measure_cycles=8000,
+                               functional_warmup_instructions=30000,
+                               rotations=1)
+        elif args.full:
+            budget = RunBudget(warmup_cycles=4000, measure_cycles=40000,
+                               functional_warmup_instructions=120000,
+                               rotations=4)
+        else:
+            budget = RunBudget.from_environment()
+        specs = [
+            RunSpec(
+                config=SMTConfig(n_threads=args.threads,
+                                 fetch_policy=args.policy,
+                                 seed=args.seed),
+                rotation=rotation,
+                budget=budget,
+            )
+            for rotation in range(max(1, args.rotations))
+        ]
+        name = args.name or _os.path.basename(
+            args.directory.rstrip(_os.sep)) or "campaign"
+        config = campaign_mod.CampaignConfig(
+            name=name, lease_ttl=args.lease_ttl,
+            max_attempts=args.max_attempts,
+            poison_threshold=args.poison_threshold,
+        )
+        added = campaign_mod.submit_specs(args.directory, specs, config)
+        print(f"submitted {added} new task(s) "
+              f"({len(specs) - added} already queued)")
+        print(campaign_mod.describe_status(load_state(args.directory)))
+        return 0
+
+    if args.campaign_command == "status":
+        state = campaign_mod.campaign_status(args.directory,
+                                             reclaim=args.reclaim)
+        print(campaign_mod.describe_status(state))
+        return 0
+
+    # drain
+    from repro.sched.fabric import drain_campaign
+
+    store = ResultCache(args.cache_dir) if args.cache_dir else \
+        campaign_mod.default_result_store(args.directory)
+    drain_campaign(args.directory, store, jobs=args.jobs)
+    state = load_state(args.directory)
+    print(campaign_mod.describe_status(state))
+    document = campaign_mod.campaign_report(args.directory, cache=store)
+    if args.report:
+        export.write_fabric_json(args.report, document["name"],
+                                 document["tasks"])
+        print(f"campaign report: {args.report} "
+              f"(schema {document['schema']} "
+              f"v{document['schema_version']})")
+    counts = document["counts"]
+    bad = counts.get("failed", 0) + counts.get("quarantined", 0)
+    return 1 if bad else 0
 
 
 def cmd_perf(args) -> int:
@@ -1001,6 +1197,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "experiment": cmd_experiment,
         "fuzz": cmd_fuzz,
+        "worker": cmd_worker,
+        "campaign": cmd_campaign,
         "perf": cmd_perf,
         "workload": cmd_workload,
         "policies": cmd_policies,

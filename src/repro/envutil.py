@@ -15,7 +15,10 @@ one rule:
 
 The boolean knobs: ``REPRO_NO_CACHE``, ``REPRO_CHECK_INVARIANTS``,
 ``REPRO_NO_FAST_STEP``, ``REPRO_NO_WARM_IMAGES``, ``REPRO_FAST``,
-``REPRO_FULL``.  (``REPRO_CACHE_DIR``, ``REPRO_JOBS``,
+``REPRO_FULL``, ``REPRO_JOURNAL_FSYNC`` (fsync every campaign-journal
+append — durability across power loss at a per-record syscall cost),
+``REPRO_FABRIC`` (route ``execute_runs`` batches through the campaign
+scheduler).  (``REPRO_CACHE_DIR``, ``REPRO_JOBS``,
 ``REPRO_RUN_TIMEOUT``, ``REPRO_MAX_RETRIES`` carry values, not truth.)
 
 :func:`env_int` covers the integer knobs: an unparsable value warns —
@@ -42,6 +45,8 @@ BOOLEAN_KNOBS = (
     "REPRO_NO_WARM_IMAGES",
     "REPRO_FAST",
     "REPRO_FULL",
+    "REPRO_JOURNAL_FSYNC",
+    "REPRO_FABRIC",
 )
 
 

@@ -34,13 +34,16 @@ FigureData = Dict[str, List[ExperimentPoint]]
 #: telemetry: spec, per-interval choice counts, switch events).
 #: v3: multicore documents (``repro.multicore`` single open-system runs,
 #: ``repro.multicore_experiment`` allocation studies).
-SCHEMA_VERSION = 3
+#: v4: fabric campaign reports (``repro.fabric_campaign`` — the
+#: scheduler's canonical per-task terminal states + results).
+SCHEMA_VERSION = 4
 RUN_SCHEMA = "repro.run"
 EXPERIMENT_SCHEMA = "repro.experiment"
 VIOLATION_SCHEMA = "repro.violation"
 CAMPAIGN_SCHEMA = "repro.campaign"
 MULTICORE_SCHEMA = "repro.multicore"
 MULTICORE_EXPERIMENT_SCHEMA = "repro.multicore_experiment"
+FABRIC_SCHEMA = "repro.fabric_campaign"
 
 #: SimResult scalar attributes exported per point.
 EXPORTED_METRICS = (
@@ -428,6 +431,54 @@ def load_multicore_experiment_json(path: str) -> Dict[str, Any]:
     """Load and validate an :func:`export_multicore_experiment` artifact."""
     with open(path, "r", encoding="utf-8") as handle:
         return _validate(json.load(handle), MULTICORE_EXPERIMENT_SCHEMA)
+
+
+# ----------------------------------------------------------------------
+# Fabric campaign reports (schema v4).
+# ----------------------------------------------------------------------
+def fabric_document(name: str, rows: Sequence[Any]) -> Dict[str, Any]:
+    """A scheduler campaign's canonical report as one document.
+
+    ``rows`` come from :func:`repro.sched.campaign.report_rows`: one per
+    task in submit order, carrying identity (key, label), terminal
+    state, and — for completed tasks — the full deterministic result
+    payload.  Operational noise (attempts, workers, timings) is kept
+    out by construction, so serialising this document with sorted keys
+    yields bytes that are identical across fault-free and fault-ridden
+    executions of the same campaign — the chaos suite's headline
+    invariant.
+    """
+    counts: Dict[str, int] = {}
+    for row in rows:
+        counts[row["state"]] = counts.get(row["state"], 0) + 1
+    return {
+        "schema": FABRIC_SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+        "counts": dict(sorted(counts.items())),
+        "tasks": list(rows),
+    }
+
+
+def fabric_report_bytes(document: Dict[str, Any]) -> bytes:
+    """The report's canonical serialisation (for bit-identity checks)."""
+    return json.dumps(document, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def write_fabric_json(path: str, name: str,
+                      rows: Sequence[Any]) -> Dict[str, Any]:
+    document = fabric_document(name, rows)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def load_fabric_json(path: str) -> Dict[str, Any]:
+    """Load and validate a :func:`write_fabric_json` artifact."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return _validate(json.load(handle), FABRIC_SCHEMA)
 
 
 def ascii_chart(

@@ -416,9 +416,20 @@ def execute_runs(
     :func:`repro.experiments.supervise.supervised_execute_runs` instead:
     crash-isolated workers, watchdog timeouts, bounded retries, and a
     checkpoint journal.  Failed points come back as ``None``.
+
+    When the campaign fabric is active (``--fabric`` / ``REPRO_FABRIC``),
+    the batch routes through the durable scheduler instead
+    (:func:`repro.sched.fabric.fabric_execute_runs`): a journal-backed
+    queue drained by lease-holding workers, with crash recovery.
     """
     from repro.experiments import supervise
+    from repro.sched import fabric
 
+    if fabric.fabric_enabled():
+        return fabric.fabric_execute_runs(
+            specs, jobs=jobs, use_cache=use_cache, cache=cache,
+            progress=progress,
+        )
     if supervise.supervision_enabled():
         return supervise.supervised_execute_runs(
             specs, jobs=jobs, use_cache=use_cache, cache=cache,

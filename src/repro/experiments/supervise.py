@@ -39,6 +39,7 @@ results are field-identical to unsupervised ones — supervision changes
 from __future__ import annotations
 
 import json
+import logging
 import os
 import multiprocessing
 import signal
@@ -59,6 +60,8 @@ from typing import (
 
 from repro.core.simulator import SimResult, SimulationAborted, Watchdog
 from repro.experiments.cache import ResultCache, default_cache_dir
+
+log = logging.getLogger("repro.supervise")
 
 #: Failure taxonomy (the only values ``RunFailure.kind`` takes).
 FAILURE_KINDS = ("timeout", "crash", "invariant", "oom", "interrupted")
@@ -144,11 +147,22 @@ def default_journal_path(name: str) -> str:
 
 @dataclass
 class JournalState:
-    """What a journal says already happened (for ``--resume``)."""
+    """What a journal says already happened (for ``--resume``).
+
+    Replay is idempotent under duplicate terminal records: once a key
+    has completed, later ``done`` records for it (two leases racing to
+    finish the same run, a re-appended tail) and later ``failed``
+    records (a reclaimed lease failing after the original finished) are
+    counted in :attr:`duplicates` and logged, but the first completion
+    stands — ``--resume`` counts stay correct.  A ``done`` after a
+    ``failed`` is *not* a duplicate: that is a retry succeeding, and the
+    success supersedes the failure.
+    """
 
     completed: Set[str] = field(default_factory=set)
     failures: Dict[str, RunFailure] = field(default_factory=dict)
     seeds: Dict[int, str] = field(default_factory=dict)  # fuzz campaigns
+    duplicates: int = 0  # terminal records ignored by first-wins replay
 
     @classmethod
     def load(cls, path: str) -> "JournalState":
@@ -174,14 +188,28 @@ class JournalState:
                 if event == "done":
                     key = record.get("key")
                     if key:
+                        if key in state.completed:
+                            state.duplicates += 1
+                            log.warning(
+                                "journal duplicate 'done' for %s: "
+                                "keeping first completion", key[:12])
+                            continue
                         state.completed.add(key)
                         state.failures.pop(key, None)
                 elif event == "failed":
                     key = record.get("key")
                     payload = record.get("failure")
                     if key and isinstance(payload, dict):
+                        if key in state.completed:
+                            # First terminal record wins: a completion
+                            # already stands, so a late failure (e.g.
+                            # from a reclaimed lease) changes nothing.
+                            state.duplicates += 1
+                            log.warning(
+                                "journal 'failed' after 'done' for %s: "
+                                "keeping completion", key[:12])
+                            continue
                         state.failures[key] = RunFailure.from_dict(payload)
-                        state.completed.discard(key)
                 elif event == "seed":
                     seed = record.get("seed")
                     if isinstance(seed, int):
@@ -191,15 +219,22 @@ class JournalState:
 
 class CampaignJournal:
     """Append-only JSONL checkpoint log, flushed after every record so a
-    killed campaign loses at most the in-flight line."""
+    killed campaign loses at most the in-flight line.
+
+    With ``REPRO_JOURNAL_FSYNC=1`` every record is additionally
+    ``fsync``'d, trading append throughput for durability across power
+    loss (see ``docs/fabric.md`` for the trade-off)."""
 
     def __init__(self, path: str):
+        from repro.envutil import env_flag
+
         self.path = path
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
         fresh = not os.path.exists(path) or os.path.getsize(path) == 0
         self._handle = open(path, "a", encoding="utf-8")
+        self._fsync = env_flag("REPRO_JOURNAL_FSYNC")
         if fresh:
             self.record({"schema": JOURNAL_SCHEMA,
                          "schema_version": JOURNAL_SCHEMA_VERSION})
@@ -208,6 +243,8 @@ class CampaignJournal:
         self._handle.write(json.dumps(payload, sort_keys=True,
                                       separators=(",", ":")) + "\n")
         self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
 
     def done(self, key: str, elapsed: float = 0.0) -> None:
         self.record({"event": "done", "key": key,
@@ -323,33 +360,54 @@ def supervision_enabled() -> bool:
 # ----------------------------------------------------------------------
 # The generic supervisor: crash-isolated process-per-task execution.
 # ----------------------------------------------------------------------
+def classify_exception(exc: BaseException) -> Tuple[str, Dict[str, Any]]:
+    """Map an exception onto the failure taxonomy: ``(kind, payload)``.
+
+    The single classification boundary shared by the supervisor's child
+    processes and the scheduler's campaign workers
+    (:mod:`repro.sched.worker`).  Notably, the multicore driver's
+    :class:`~repro.multicore.driver.DriverInvariantError` classifies as
+    ``invariant`` — a deterministic property of the run, never retried —
+    rather than falling through as a generic (retryable) ``crash``.
+    """
+    # Lazy imports: repro.verify imports this module's package, so the
+    # sanitizer cannot be imported at module load without a cycle.
+    from repro.verify.sanitizer import InvariantViolation
+
+    try:
+        from repro.multicore.driver import DriverInvariantError
+    except ImportError:  # pragma: no cover - partial installs
+        DriverInvariantError = None  # type: ignore[assignment]
+
+    if isinstance(exc, InvariantViolation):
+        return "invariant", {"message": str(exc),
+                             "violation": exc.to_dict()}
+    if DriverInvariantError is not None and isinstance(
+            exc, DriverInvariantError):
+        return "invariant", {"message": str(exc), "details": exc.details}
+    if isinstance(exc, SimulationAborted):
+        return "timeout", {"message": str(exc), "cycle": exc.cycle}
+    if isinstance(exc, MemoryError):
+        return "oom", {"message": "MemoryError in worker"}
+    if isinstance(exc, KeyboardInterrupt):
+        return "interrupted", {"message": "worker interrupted"}
+    return "crash", {
+        "message": f"{type(exc).__name__}: {exc}",
+        "traceback": traceback.format_exc()[-2000:],
+    }
+
+
 def _child_main(conn, fn, payload, timeout: Optional[float]) -> None:
     """Worker-process entry: run ``fn(payload, watchdog)`` and ship a
     ``(status, payload)`` verdict back over the pipe.  Every exception
     is converted to a structured message — a worker never dies silently
     unless the OS kills it."""
-    # Lazy import: repro.verify imports this module's package, so the
-    # sanitizer cannot be imported at module load without a cycle.
-    from repro.verify.sanitizer import InvariantViolation
-
     try:
         watchdog = Watchdog(wall_seconds=timeout) if timeout else None
         result = fn(payload, watchdog)
         conn.send(("ok", result))
-    except InvariantViolation as exc:
-        conn.send(("invariant", {"message": str(exc),
-                                 "violation": exc.to_dict()}))
-    except SimulationAborted as exc:
-        conn.send(("timeout", {"message": str(exc), "cycle": exc.cycle}))
-    except MemoryError:
-        conn.send(("oom", {"message": "MemoryError in worker"}))
-    except KeyboardInterrupt:
-        conn.send(("interrupted", {"message": "worker interrupted"}))
     except BaseException as exc:  # noqa: BLE001 - taxonomy boundary
-        conn.send(("crash", {
-            "message": f"{type(exc).__name__}: {exc}",
-            "traceback": traceback.format_exc()[-2000:],
-        }))
+        conn.send(classify_exception(exc))
     finally:
         try:
             conn.close()

@@ -1,0 +1,318 @@
+"""Client-side campaign operations: submit, status, collect, report.
+
+A campaign is a directory (see :mod:`repro.sched.journal`) plus the
+shared result cache.  Clients append ``submit`` records (idempotent —
+resubmitting a key the journal already holds is a no-op), workers drain
+them, and anyone can reconstruct progress from the journal alone.
+
+The **campaign report** is deliberately *canonical*: it contains each
+task's identity, terminal state, and (for completed tasks) the full
+deterministic ``SimResult`` payload — and none of the operational noise
+(attempt counts, worker ids, wall-clock timings).  Two executions of the
+same campaign therefore serialise to byte-identical reports no matter
+how many workers died, heartbeats dropped, or journal tails tore along
+the way; the chaos suite (tests/verify/test_chaos.py) holds exactly
+that equality.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.config import SMTConfig
+from repro.core.simulator import SimResult
+from repro.experiments.cache import (
+    ResultCache,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.experiments.runner import RunBudget
+from repro.sched import state as state_mod
+from repro.sched.journal import JournalWriter, lock_journal
+from repro.sched.state import CampaignState, load_state
+
+log = logging.getLogger("repro.sched")
+
+
+# ----------------------------------------------------------------------
+# Campaign configuration (stored in the journal's ``campaign`` record).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Scheduler knobs, fixed at submit time and replayed by workers."""
+
+    name: str = "campaign"
+    #: Seconds a lease lives without a heartbeat before any scanner may
+    #: reclaim it.  Size it at several times the slowest expected run.
+    lease_ttl: float = 60.0
+    #: Executions (initial + retries) a task may consume before FAILED.
+    max_attempts: int = 3
+    #: Distinct dead workers that mark a task as poison (QUARANTINED).
+    poison_threshold: int = 3
+    #: Base of the exponential requeue backoff, in seconds.
+    backoff: float = 0.5
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_state(cls, state: CampaignState) -> "CampaignConfig":
+        config = dict(state.config)
+        config.pop("name", None)
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(name=state.name,
+                   **{k: v for k, v in config.items() if k in known})
+
+
+# ----------------------------------------------------------------------
+# RunSpec (de)serialisation — the journal stores plain JSON.
+# ----------------------------------------------------------------------
+def spec_to_payload(spec: Any) -> Dict[str, Any]:
+    """A :class:`~repro.experiments.parallel.RunSpec` as journal JSON."""
+    return {
+        "config": dataclasses.asdict(spec.config),
+        "rotation": spec.rotation,
+        "budget": dataclasses.asdict(spec.budget),
+        "seed": spec.seed,
+        "dcache_mshrs": spec.dcache_mshrs,
+        "check_invariants": spec.check_invariants,
+    }
+
+
+def spec_from_payload(payload: Dict[str, Any]) -> Any:
+    from repro.experiments.parallel import RunSpec
+
+    return RunSpec(
+        config=SMTConfig(**payload["config"]),
+        rotation=int(payload["rotation"]),
+        budget=RunBudget(**payload["budget"]),
+        seed=int(payload.get("seed", 0)),
+        dcache_mshrs=payload.get("dcache_mshrs"),
+        check_invariants=bool(payload.get("check_invariants", False)),
+    )
+
+
+def spec_label(spec: Any) -> str:
+    return (f"{spec.config.scheme_name}/T{spec.config.n_threads}"
+            f"/rot{spec.rotation}")
+
+
+# ----------------------------------------------------------------------
+# Submission.
+# ----------------------------------------------------------------------
+def submit_specs(
+    directory: str,
+    specs: Sequence[Any],
+    config: Optional[CampaignConfig] = None,
+) -> int:
+    """Append submit records for every spec the journal doesn't hold.
+
+    Returns the number of *new* tasks.  Submission is idempotent per
+    content key: clients may re-submit an overlapping batch (a resumed
+    experiment, a second client sharing the campaign) without creating
+    duplicate work.  The first submission also persists the campaign
+    config so workers and reclaimers agree on TTL/retry/poison knobs.
+    """
+    config = config or CampaignConfig()
+    with lock_journal(directory):
+        state = load_state(directory)
+        with JournalWriter(directory) as writer:
+            if not state.config:
+                writer.append({
+                    "event": "campaign", "name": config.name,
+                    "config": config.to_dict(),
+                })
+            added = 0
+            for spec in specs:
+                key = spec.key()
+                if key in state.tasks:
+                    continue
+                record = {
+                    "event": "submit", "key": key,
+                    "label": spec_label(spec),
+                    "spec": spec_to_payload(spec),
+                }
+                writer.append(record)
+                state.apply(record)
+                added += 1
+    return added
+
+
+# ----------------------------------------------------------------------
+# Status and recovery.
+# ----------------------------------------------------------------------
+def reclaim_expired(
+    writer: JournalWriter,
+    state: CampaignState,
+    now: float,
+    config: Optional[CampaignConfig] = None,
+) -> int:
+    """Resolve every expired lease (caller holds the journal lock).
+
+    Appends the requeue/quarantine/failed record each expired lease
+    implies and applies it to ``state`` in place.  Returns the number
+    of leases reclaimed.
+    """
+    config = config or CampaignConfig.from_state(state)
+    reclaimed = 0
+    for task in state.expired_leases(now):
+        record = state_mod.plan_reclaim(
+            task, now,
+            max_attempts=config.max_attempts,
+            poison_threshold=config.poison_threshold,
+            backoff=config.backoff,
+        )
+        writer.append(record)
+        state.apply(record)
+        reclaimed += 1
+    return reclaimed
+
+
+def campaign_status(
+    directory: str,
+    now: Optional[float] = None,
+    reclaim: bool = False,
+) -> CampaignState:
+    """Replay the journal; optionally reclaim expired leases first."""
+    if not reclaim:
+        return load_state(directory)
+    import time
+
+    now = time.time() if now is None else now
+    with lock_journal(directory):
+        state = load_state(directory)
+        with JournalWriter(directory) as writer:
+            reclaim_expired(writer, state, now)
+    return state
+
+
+def describe_status(state: CampaignState) -> str:
+    counts = state.counts()
+    lines = [
+        f"campaign {state.name}: {counts['done']}/{counts['total']} done, "
+        f"{counts['pending']} pending, {counts['leased']} leased, "
+        f"{counts['failed']} failed, {counts['quarantined']} quarantined"
+        + (f", {counts['duplicates']} duplicate terminal record(s)"
+           if counts["duplicates"] else "")
+    ]
+    for task in state.iter_tasks():
+        if task.status == state_mod.LEASED and task.lease is not None:
+            lines.append(
+                f"  leased: {task.label or task.key[:12]} -> "
+                f"{task.lease.worker} (attempt {task.attempt}, "
+                f"expires {task.lease.expires:.1f})"
+            )
+        elif task.status in (state_mod.FAILED, state_mod.QUARANTINED):
+            failure = task.failure or {}
+            lines.append(
+                f"  [{failure.get('kind', task.status)}] "
+                f"{task.label or task.key[:12]}: "
+                f"{failure.get('message', '')}"
+            )
+    if state.workers:
+        roster = ", ".join(
+            f"{name}:{status}" for name, status in sorted(state.workers.items())
+        )
+        lines.append(f"  workers: {roster}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Result collection.
+# ----------------------------------------------------------------------
+def default_result_store(directory: str) -> ResultCache:
+    """The campaign-local result store (used when no shared cache is
+    configured): lives inside the journal directory so the campaign is
+    self-contained."""
+    import os
+
+    return ResultCache(os.path.join(directory, "results"))
+
+
+def collect_results(
+    state: CampaignState,
+    cache: ResultCache,
+    rerun_missing: bool = True,
+    run_fn: Optional[Any] = None,
+) -> List[Optional[SimResult]]:
+    """Results in submit order (``None`` for failed/quarantined tasks).
+
+    Completion records promise the result is in the content-addressed
+    store — but stores rot (the chaos suite corrupts entries on
+    purpose).  A DONE task whose cache entry is missing or quarantined
+    is deterministically re-executed inline (and re-stored), so a
+    corrupt cache degrades to recomputation, never to a wrong or absent
+    result.
+    """
+    results: List[Optional[SimResult]] = []
+    for task in state.iter_tasks():
+        if task.status != state_mod.DONE:
+            results.append(None)
+            continue
+        result = cache.get(task.key)
+        if result is None and rerun_missing and task.payload is not None:
+            if run_fn is None:
+                from repro.experiments.parallel import run_spec
+                run_fn = run_spec
+            log.warning(
+                "result for completed task %s missing/corrupt in cache; "
+                "re-running deterministically", task.key[:12],
+            )
+            result = run_fn(spec_from_payload(task.payload))
+            cache.put(task.key, result)
+        results.append(result)
+    return results
+
+
+# ----------------------------------------------------------------------
+# The canonical campaign report.
+# ----------------------------------------------------------------------
+def report_rows(
+    state: CampaignState,
+    results: Sequence[Optional[SimResult]],
+) -> List[Dict[str, Any]]:
+    """Per-task report rows: identity + terminal state + result payload.
+
+    Operational detail (attempts, workers, elapsed, duplicates) is
+    excluded on purpose — the report must be bit-identical across
+    fault-free and fault-ridden executions of the same campaign.
+    """
+    rows = []
+    for task, result in zip(state.iter_tasks(), results):
+        failure = task.failure or {}
+        rows.append({
+            "key": task.key,
+            "label": task.label,
+            "state": task.status,
+            "failure_kind": failure.get("kind") if task.terminal
+            and task.status != state_mod.DONE else None,
+            "result": result_to_dict(result) if result is not None else None,
+        })
+    return rows
+
+
+def report_results(rows: Sequence[Dict[str, Any]]) -> List[Optional[SimResult]]:
+    """Inverse of :func:`report_rows` (for report consumers)."""
+    return [
+        result_from_dict(row["result"]) if row.get("result") else None
+        for row in rows
+    ]
+
+
+def campaign_report(
+    directory: str,
+    cache: Optional[ResultCache] = None,
+    rerun_missing: bool = True,
+    run_fn: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """The canonical report document for one campaign directory."""
+    from repro.experiments import export
+
+    state = load_state(directory)
+    cache = cache if cache is not None else default_result_store(directory)
+    results = collect_results(state, cache, rerun_missing=rerun_missing,
+                              run_fn=run_fn)
+    return export.fabric_document(state.name, report_rows(state, results))

@@ -1,0 +1,209 @@
+"""``--fabric``: run an ``execute_runs`` batch through the scheduler.
+
+The fabric is the scheduler worn as an engine: the batch is submitted
+to a durable campaign, workers drain it, and results come back in spec
+order — same contract as :func:`repro.experiments.parallel.execute_runs`
+(failed points as ``None``), different failure story.  A SIGKILL'd
+worker or a torn journal costs one lease TTL, not the batch.
+
+Enablement mirrors the engine's knob convention: explicit
+``configure(fabric=...)`` (the CLI's ``repro experiment --fabric``)
+beats the ``REPRO_FABRIC`` environment flag.
+
+Campaign directories default to ``<cache dir>/fabric/<digest>`` where
+the digest covers the batch's spec keys — re-running the same study
+resumes its campaign (completed tasks replay from the journal + result
+store) instead of starting over.
+
+Worker topology: ``jobs == 1`` drains in-process (no subprocess
+overhead, same journal protocol); ``jobs > 1`` launches ``jobs``
+independent ``python -m repro worker <dir> --drain`` processes that
+coordinate only through the journal lock — exactly the deployment shape
+of separate worker hosts sharing a filesystem.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import sys
+import time
+from typing import Any, List, Optional, Sequence
+
+from repro.envutil import env_flag
+from repro.experiments.cache import ResultCache, default_cache_dir
+
+_UNSET = object()
+
+_configured_fabric: Optional[bool] = None
+_configured_fabric_dir: Optional[str] = None
+
+
+def configure(fabric: Any = _UNSET, fabric_dir: Any = _UNSET) -> None:
+    """Set process-wide fabric defaults (the CLI's ``--fabric`` /
+    ``--fabric-dir``).  Pass ``None`` to reset to the environment."""
+    global _configured_fabric, _configured_fabric_dir
+    if fabric is not _UNSET:
+        _configured_fabric = fabric
+    if fabric_dir is not _UNSET:
+        _configured_fabric_dir = fabric_dir
+
+
+def fabric_enabled() -> bool:
+    if _configured_fabric is not None:
+        return _configured_fabric
+    return env_flag("REPRO_FABRIC")
+
+
+def campaign_dir_for(keys: Sequence[str]) -> str:
+    """The default campaign directory for a batch (content-addressed,
+    so identical studies share a resumable campaign)."""
+    if _configured_fabric_dir:
+        return _configured_fabric_dir
+    digest = hashlib.sha256("\n".join(sorted(set(keys))).encode()).hexdigest()
+    return os.path.join(default_cache_dir(), "fabric", digest[:16])
+
+
+def _worker_env() -> dict:
+    """Environment for worker subprocesses: inherit, ensure ``repro``
+    is importable, and pin fabric off (workers run specs directly)."""
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (src_root + os.pathsep + existing
+                             if existing else src_root)
+    env["REPRO_FABRIC"] = "0"
+    return env
+
+
+def drain_campaign(
+    directory: str,
+    store: ResultCache,
+    jobs: int = 1,
+    poll: float = 0.05,
+    on_poll: Optional[Any] = None,
+) -> None:
+    """Run workers against ``directory`` until every task is terminal.
+
+    ``jobs <= 1`` drains with one in-process worker; otherwise ``jobs``
+    ``python -m repro worker --drain`` subprocesses share the campaign,
+    coordinating only through the journal (the deployment shape of
+    independent worker hosts).  ``on_poll`` is called periodically while
+    subprocess workers run (progress reporting).
+    """
+    from repro.sched.worker import Worker
+
+    if jobs <= 1:
+        worker = Worker(directory, cache=store, poll_interval=poll)
+        worker.serve(drain=True, install_signals=False)
+        return
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", directory,
+             "--drain", "--cache-dir", store.directory,
+             "--poll", str(poll)],
+            env=_worker_env(),
+        )
+        for _ in range(jobs)
+    ]
+    try:
+        while any(proc.poll() is None for proc in procs):
+            if on_poll is not None:
+                on_poll()
+            time.sleep(0.2)
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            proc.wait()
+
+
+def fabric_execute_runs(
+    specs: Sequence[Any],
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Any] = None,
+    directory: Optional[str] = None,
+    lease_ttl: Optional[float] = None,
+) -> List[Any]:
+    """Drain ``specs`` through a durable campaign; results in spec order.
+
+    Matches the :func:`~repro.experiments.parallel.execute_runs`
+    contract: deterministic results, duplicates served once, failed
+    points ``None``.  The campaign journal and result store survive the
+    call — a rerun of the same batch resumes instead of recomputing.
+    """
+    from repro.experiments.parallel import (
+        BatchProgress,
+        default_jobs,
+        default_progress,
+        default_use_cache,
+    )
+    from repro.experiments.parallel import default_cache as engine_cache
+    from repro.sched.campaign import (
+        CampaignConfig,
+        collect_results,
+        default_result_store,
+        submit_specs,
+    )
+    from repro.sched.state import load_state
+    from repro.sched.worker import Worker
+
+    if not specs:
+        return []
+    if jobs is None:
+        jobs = default_jobs()
+    if use_cache is None:
+        use_cache = default_use_cache()
+    if progress is None:
+        progress = default_progress()
+
+    keys = [spec.key() for spec in specs]
+    directory = directory or campaign_dir_for(keys)
+
+    # The result store: the shared content-addressed cache when caching
+    # is on (completion is idempotent across campaigns), else a
+    # campaign-local throwaway store so --no-cache stays side-effect
+    # free outside the campaign directory.
+    if cache is None and use_cache:
+        configured = engine_cache()
+        cache = configured if configured is not None else ResultCache()
+    store = cache if cache is not None else default_result_store(directory)
+
+    config = CampaignConfig(
+        name=os.path.basename(directory.rstrip(os.sep)) or "fabric",
+        lease_ttl=lease_ttl if lease_ttl is not None else 60.0,
+    )
+    submit_specs(directory, specs, config)
+
+    started = time.perf_counter()
+
+    def report() -> None:
+        if not progress:
+            return
+        counts = load_state(directory).counts()
+        terminal = (counts["done"] + counts["failed"]
+                    + counts["quarantined"])
+        progress(BatchProgress(
+            total=counts["total"], completed=terminal, cache_hits=0,
+            failed=counts["failed"] + counts["quarantined"],
+            elapsed=time.perf_counter() - started,
+        ))
+
+    drain_campaign(directory, store,
+                   jobs=1 if len(specs) == 1 else min(jobs, len(specs)),
+                   on_poll=report)
+    report()
+
+    state = load_state(directory)
+    ordered = collect_results(state, store, rerun_missing=True)
+    by_key = {task.key: result
+              for task, result in zip(state.iter_tasks(), ordered)}
+    return [by_key.get(key) for key in keys]

@@ -1,0 +1,321 @@
+"""The scheduler state machine, reconstructed by journal replay.
+
+The journal is the single source of truth; this module is a pure fold
+over its records.  Crash recovery *is* replay: any process — a worker
+scanning for work, ``repro campaign status``, the drain loop — rebuilds
+the same :class:`CampaignState` from the same records, decides what the
+journal implies (expired leases to reclaim, poison tasks to quarantine)
+and appends the outcome.  Nothing lives only in memory.
+
+Task lifecycle::
+
+    submit ─> PENDING ─claim─> LEASED ─done──────> DONE
+                 ^               │ ─failed───────> FAILED
+                 │               │ ─quarantine───> QUARANTINED
+                 └───requeue─────┘   (lease expired / retryable failure)
+
+Robustness rules (held by the chaos suite, tests/verify/test_chaos.py):
+
+* **First terminal record wins.**  Two leases can race to complete the
+  same task (a slow worker finishing after its expired lease was
+  reclaimed); replay keeps the first terminal record, counts the
+  duplicate, and logs it.  Results are content-addressed and
+  deterministic, so the duplicate carries no new information.
+* **Leases expire, tasks never vanish.**  An expired lease sends the
+  task back to PENDING with exponential backoff; its worker joins the
+  task's *suspect* set.
+* **Poison quarantine.**  A task whose leases have died under
+  ``poison_threshold`` distinct workers is quarantined — never retried,
+  reported like an invariant failure (deterministic property of the
+  task, not bad luck).
+* **Bounded retries.**  ``max_attempts`` executions, then FAILED.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+log = logging.getLogger("repro.sched")
+
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+QUARANTINED = "quarantined"
+
+TERMINAL_STATES = frozenset((DONE, FAILED, QUARANTINED))
+
+#: Failure kinds that are *never* requeued (deterministic properties of
+#: the task — mirrors the PR-4 supervisor taxonomy).
+NON_RETRYABLE_KINDS = frozenset(("invariant", "interrupted"))
+
+
+@dataclass
+class Lease:
+    """One worker's claim on one task."""
+
+    worker: str
+    expires: float
+    attempt: int
+
+
+@dataclass
+class Task:
+    """One submitted run and everything the journal says about it."""
+
+    key: str
+    seq: int                     # submit order (report/claim order)
+    label: str = ""
+    payload: Optional[Dict[str, Any]] = None   # serialised RunSpec
+    status: str = PENDING
+    attempt: int = 0             # executions started so far
+    not_before: float = 0.0      # backoff gate for the next claim
+    lease: Optional[Lease] = None
+    #: Distinct workers whose lease on this task expired without a
+    #: terminal record — the poison-detection evidence.
+    suspects: Set[str] = field(default_factory=set)
+    failure: Optional[Dict[str, Any]] = None
+    completed_by: str = ""
+    elapsed: float = 0.0
+    duplicate_terminals: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+
+@dataclass
+class CampaignState:
+    """Everything a journal implies, after replay."""
+
+    tasks: Dict[str, Task] = field(default_factory=dict)
+    order: List[str] = field(default_factory=list)   # submit order
+    config: Dict[str, Any] = field(default_factory=dict)
+    workers: Dict[str, str] = field(default_factory=dict)
+    name: str = "campaign"
+    duplicates: int = 0          # terminal records for already-terminal tasks
+    #: v1-journal records with no task context here (fuzz seeds etc.).
+    ignored: int = 0
+
+    # ------------------------------------------------------------------
+    # Replay.
+    # ------------------------------------------------------------------
+    def apply(self, record: Dict[str, Any]) -> None:
+        event = record.get("event")
+        if event == "campaign":
+            self.config.update(record.get("config") or {})
+            self.name = record.get("name", self.name)
+        elif event == "submit":
+            self._apply_submit(record)
+        elif event == "lease":
+            self._apply_lease(record)
+        elif event == "heartbeat":
+            self._apply_heartbeat(record)
+        elif event == "done":
+            self._apply_terminal(record, DONE)
+        elif event == "failed":
+            self._apply_terminal(record, FAILED)
+        elif event == "quarantine":
+            self._apply_terminal(record, QUARANTINED)
+        elif event == "requeue":
+            self._apply_requeue(record)
+        elif event == "worker":
+            worker = record.get("worker")
+            if worker:
+                self.workers[worker] = str(record.get("status", "?"))
+        elif event is not None:
+            self.ignored += 1
+
+    def _task(self, record: Dict[str, Any]) -> Optional[Task]:
+        key = record.get("key")
+        if not key:
+            return None
+        task = self.tasks.get(key)
+        if task is None:
+            # A v1 journal (or a tail-torn submit): terminal records may
+            # arrive for keys never submitted here.  Track them anyway
+            # so `--resume`-style consumers see the completion.
+            task = Task(key=key, seq=len(self.order))
+            self.tasks[key] = task
+            self.order.append(key)
+        return task
+
+    def _apply_submit(self, record: Dict[str, Any]) -> None:
+        key = record.get("key")
+        if not key or key in self.tasks:
+            return  # resubmission is idempotent
+        task = Task(
+            key=key, seq=len(self.order),
+            label=str(record.get("label", "")),
+            payload=record.get("spec"),
+        )
+        self.tasks[key] = task
+        self.order.append(key)
+
+    def _apply_lease(self, record: Dict[str, Any]) -> None:
+        task = self._task(record)
+        if task is None or task.terminal:
+            return
+        attempt = int(record.get("attempt", task.attempt + 1))
+        task.status = LEASED
+        task.attempt = max(task.attempt, attempt)
+        task.lease = Lease(
+            worker=str(record.get("worker", "?")),
+            expires=float(record.get("expires", 0.0)),
+            attempt=attempt,
+        )
+
+    def _apply_heartbeat(self, record: Dict[str, Any]) -> None:
+        task = self._task(record)
+        if task is None or task.lease is None or task.terminal:
+            return
+        if task.lease.worker == record.get("worker"):
+            task.lease.expires = float(
+                record.get("expires", task.lease.expires)
+            )
+
+    def _apply_terminal(self, record: Dict[str, Any], status: str) -> None:
+        task = self._task(record)
+        if task is None:
+            return
+        if task.terminal:
+            # Duplicate terminal record (two leases completed the same
+            # run, or a replayed tail): the first one stands.
+            self.duplicates += 1
+            task.duplicate_terminals += 1
+            log.warning(
+                "journal duplicate terminal for %s: kept first (%s), "
+                "ignored later %r from %r",
+                task.key[:12], task.status, record.get("event"),
+                record.get("worker", "?"),
+            )
+            return
+        task.status = status
+        task.lease = None
+        if status == DONE:
+            task.completed_by = str(record.get("worker", ""))
+            task.elapsed = float(record.get("elapsed", 0.0))
+        elif status == FAILED:
+            task.failure = record.get("failure") or {
+                "kind": "crash", "key": task.key,
+                "message": str(record.get("message", "failed")),
+            }
+        else:  # QUARANTINED
+            task.failure = {
+                "kind": "poison", "key": task.key,
+                "message": str(record.get("reason", "poison task")),
+                "details": {"suspects": record.get("workers") or
+                            sorted(task.suspects)},
+            }
+
+    def _apply_requeue(self, record: Dict[str, Any]) -> None:
+        task = self._task(record)
+        if task is None or task.terminal:
+            return
+        if task.lease is not None and record.get("reason") == "lease-expired":
+            task.suspects.add(task.lease.worker)
+        task.status = PENDING
+        task.lease = None
+        task.not_before = float(record.get("not_before", 0.0))
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def iter_tasks(self) -> List[Task]:
+        return [self.tasks[key] for key in self.order]
+
+    def claimable(self, now: float) -> Optional[Task]:
+        """Next task a worker may lease, in submit order."""
+        for task in self.iter_tasks():
+            if task.status == PENDING and task.not_before <= now:
+                return task
+        return None
+
+    def expired_leases(self, now: float) -> List[Task]:
+        return [
+            task for task in self.iter_tasks()
+            if task.status == LEASED and task.lease is not None
+            and task.lease.expires <= now
+        ]
+
+    def next_wake(self, now: float) -> Optional[float]:
+        """Seconds until the scheduler state can change on its own
+        (a backoff gate opening or a lease expiring); ``None`` if
+        nothing is scheduled."""
+        horizons = [
+            task.not_before for task in self.tasks.values()
+            if task.status == PENDING and task.not_before > now
+        ]
+        horizons.extend(
+            task.lease.expires for task in self.tasks.values()
+            if task.status == LEASED and task.lease is not None
+        )
+        if not horizons:
+            return None
+        return max(0.0, min(horizons) - now)
+
+    def all_terminal(self) -> bool:
+        return all(task.terminal for task in self.tasks.values())
+
+    def counts(self) -> Dict[str, int]:
+        summary = {"total": len(self.tasks), PENDING: 0, LEASED: 0,
+                   DONE: 0, FAILED: 0, QUARANTINED: 0}
+        for task in self.tasks.values():
+            summary[task.status] += 1
+        summary["duplicates"] = self.duplicates
+        return summary
+
+
+def load_state(directory: str) -> CampaignState:
+    """Replay a campaign directory's journal into state."""
+    from repro.sched.journal import read_records
+
+    state = CampaignState()
+    for record in read_records(directory):
+        state.apply(record)
+    return state
+
+
+# ----------------------------------------------------------------------
+# Reclaim planning: what the journal implies should happen next.
+# ----------------------------------------------------------------------
+def plan_reclaim(task: Task, now: float, max_attempts: int,
+                 poison_threshold: int, backoff: float) -> Dict[str, Any]:
+    """The record that resolves one expired lease.
+
+    Poison beats retry accounting: a task that has taken down
+    ``poison_threshold`` distinct workers is quarantined even if it has
+    attempts left — rerunning it just feeds it more workers.  Otherwise
+    the task is requeued with exponential backoff until its
+    ``max_attempts`` executions are spent, then failed for good.
+    """
+    worker = task.lease.worker if task.lease is not None else "?"
+    suspects = set(task.suspects)
+    suspects.add(worker)
+    if len(suspects) >= max(1, poison_threshold):
+        return {
+            "event": "quarantine", "key": task.key,
+            "reason": (f"poison: killed {len(suspects)} distinct "
+                       f"worker(s)"),
+            "workers": sorted(suspects),
+        }
+    if task.attempt >= max(1, max_attempts):
+        return {
+            "event": "failed", "key": task.key,
+            "failure": {
+                "kind": "lost", "key": task.key,
+                "message": (f"lease expired on attempt {task.attempt}/"
+                            f"{max_attempts} (worker {worker})"),
+                "attempts": task.attempt,
+                "label": task.label,
+            },
+        }
+    delay = backoff * (2 ** max(0, task.attempt - 1))
+    return {
+        "event": "requeue", "key": task.key,
+        "reason": "lease-expired",
+        "worker": worker,
+        "not_before": now + delay,
+    }

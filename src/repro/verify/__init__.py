@@ -10,11 +10,25 @@ fuzzing of the timing pipeline against the architectural oracle.
   simulations, runs them with the sanitizer attached in lockstep with
   per-thread emulator oracles, shrinks failures to minimal reproducers,
   and maintains the ``tests/corpus/`` golden-regression directory.
+* :mod:`repro.verify.chaos` injects deterministic, seeded faults
+  (worker kills, stalls, dropped heartbeats, torn journal tails,
+  corrupted cache entries) into the campaign scheduler
+  (:mod:`repro.sched`) and proves recovery: no run lost, none
+  double-counted, reports bit-identical to a fault-free execution.
 
-See ``docs/testing.md`` for the invariant catalogue and workflow.
+See ``docs/testing.md`` for the invariant catalogue and workflow, and
+``docs/fabric.md`` for the scheduler failure matrix the chaos harness
+enforces.
 """
 
 from repro.verify.sanitizer import InvariantViolation, PipelineSanitizer
+from repro.verify.chaos import (
+    Fault,
+    FaultPlan,
+    corrupt_cache_entry,
+    run_chaos_campaign,
+    tear_journal_tail,
+)
 from repro.verify.fuzz import (
     FuzzCase,
     FuzzOutcome,
@@ -28,11 +42,16 @@ from repro.verify.fuzz import (
 __all__ = [
     "InvariantViolation",
     "PipelineSanitizer",
+    "Fault",
+    "FaultPlan",
     "FuzzCase",
     "FuzzOutcome",
+    "corrupt_cache_entry",
     "generate_case",
     "load_corpus_case",
     "run_case",
+    "run_chaos_campaign",
     "save_corpus_case",
     "shrink_case",
+    "tear_journal_tail",
 ]

@@ -280,6 +280,118 @@ class TestJournal:
         assert not state.completed and not state.failures and not state.seeds
 
 
+class TestJournalDuplicates:
+    """Replay is idempotent under duplicate terminal records: the first
+    completion stands, later duplicates are counted and logged, and
+    ``--resume`` arithmetic stays correct."""
+
+    def test_duplicate_done_keeps_first_and_counts(self, tmp_path, caplog):
+        path = str(tmp_path / "campaign.jsonl")
+        with CampaignJournal(path) as journal:
+            journal.done("k1", elapsed=1.0)
+            journal.done("k1", elapsed=9.0)   # racing lease finishing late
+            journal.done("k2")
+        with caplog.at_level("WARNING", logger="repro.supervise"):
+            state = JournalState.load(path)
+        assert state.completed == {"k1", "k2"}
+        assert state.duplicates == 1
+        assert "duplicate 'done'" in caplog.text
+
+    def test_failed_after_done_is_duplicate_not_regression(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        with CampaignJournal(path) as journal:
+            journal.done("k")
+            journal.failed(RunFailure(kind="lost", key="k", message="late"))
+        state = JournalState.load(path)
+        assert state.completed == {"k"}
+        assert "k" not in state.failures
+        assert state.duplicates == 1
+
+    def test_done_after_failed_is_supersession_not_duplicate(self, tmp_path):
+        # A retry succeeding is new information, not a duplicate.
+        path = str(tmp_path / "campaign.jsonl")
+        with CampaignJournal(path) as journal:
+            journal.failed(RunFailure(kind="crash", key="k", message="m"))
+            journal.done("k")
+        state = JournalState.load(path)
+        assert state.completed == {"k"}
+        assert state.duplicates == 0
+
+    def test_resume_counts_stay_correct_under_duplicates(self, tmp_path):
+        path = str(tmp_path / "campaign.jsonl")
+        with CampaignJournal(path) as journal:
+            for _ in range(3):
+                journal.done("k1")
+            journal.done("k2")
+        state = JournalState.load(path)
+        # --resume skips len(completed) points: 2, not 4.
+        assert len(state.completed) == 2
+        assert state.duplicates == 2
+
+
+class TestJournalFsync:
+    def test_records_fsync_when_enabled(self, tmp_path, monkeypatch):
+        calls = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync",
+                            lambda fd: (calls.append(fd), real_fsync(fd)))
+        monkeypatch.setenv("REPRO_JOURNAL_FSYNC", "1")
+        path = str(tmp_path / "campaign.jsonl")
+        with CampaignJournal(path) as journal:   # header syncs too
+            journal.done("k1")
+        assert len(calls) == 2
+
+    def test_records_do_not_fsync_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_JOURNAL_FSYNC", raising=False)
+        calls = []
+        monkeypatch.setattr(os, "fsync", lambda fd: calls.append(fd))
+        path = str(tmp_path / "campaign.jsonl")
+        with CampaignJournal(path) as journal:
+            journal.done("k1")
+        assert calls == []
+
+
+class TestClassifyException:
+    """The shared classification boundary (supervisor children and
+    scheduler workers route through the same function)."""
+
+    def test_driver_invariant_error_is_invariant(self):
+        from repro.multicore.driver import DriverInvariantError
+
+        exc = DriverInvariantError("thread 3 on two cores",
+                                   details={"thread": 3})
+        kind, payload = supervise.classify_exception(exc)
+        assert kind == "invariant"
+        assert payload["details"] == {"thread": 3}
+        assert "thread 3" in payload["message"]
+
+    def test_sanitizer_violation_is_invariant(self):
+        violation = InvariantViolation("iq-overflow",
+                                       "queue over capacity", cycle=10)
+        kind, payload = supervise.classify_exception(violation)
+        assert kind == "invariant"
+        assert payload["violation"]["invariant"] == "iq-overflow"
+
+    def test_generic_exception_is_crash(self):
+        kind, payload = supervise.classify_exception(ValueError("boom"))
+        assert kind == "crash"
+        assert "ValueError" in payload["message"]
+
+    def test_memory_error_is_oom(self):
+        kind, _ = supervise.classify_exception(MemoryError())
+        assert kind == "oom"
+
+    def test_interrupt_is_interrupted(self):
+        kind, _ = supervise.classify_exception(KeyboardInterrupt())
+        assert kind == "interrupted"
+
+    def test_aborted_simulation_is_timeout(self):
+        kind, payload = supervise.classify_exception(
+            SimulationAborted("watchdog", cycle=123))
+        assert kind == "timeout"
+        assert payload["cycle"] == 123
+
+
 # ----------------------------------------------------------------------
 # Supervised RunSpec execution.
 # ----------------------------------------------------------------------

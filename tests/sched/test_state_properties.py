@@ -1,0 +1,184 @@
+"""Property tests: lease transitions never lose or duplicate a task.
+
+A random interleaving of claims, heartbeats, clock advances, lease
+expiries, reclaims, completions, and duplicate terminal records is
+applied to the replayed state.  Whatever the interleaving:
+
+* the task population is exactly the submitted set (nothing lost,
+  nothing invented, nothing listed twice);
+* a terminal task stays terminal with its first outcome;
+* a task is never simultaneously claimable and leased;
+* reclaiming every expired lease until quiescence leaves each task
+  either terminal or claimable-in-the-future — never stuck.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sched.state import (
+    CampaignState,
+    TERMINAL_STATES,
+    plan_reclaim,
+)
+
+KEYS = ["t0", "t1", "t2", "t3"]
+WORKERS = ["w0", "w1", "w2"]
+TTL = 10.0
+
+op = st.one_of(
+    st.tuples(st.just("claim"), st.sampled_from(WORKERS)),
+    st.tuples(st.just("heartbeat"), st.sampled_from(WORKERS)),
+    st.tuples(st.just("advance"), st.floats(min_value=0.5, max_value=30.0)),
+    st.just(("reclaim",)),
+    st.tuples(st.just("done"), st.sampled_from(KEYS),
+              st.sampled_from(WORKERS)),
+    st.tuples(st.just("fail"), st.sampled_from(KEYS),
+              st.sampled_from(WORKERS)),
+)
+
+
+class Harness:
+    """Drives a CampaignState the way a worker pool would: every
+    mutation is a journal record, every decision comes from replayed
+    state — the same discipline as repro.sched.worker."""
+
+    def __init__(self):
+        self.state = CampaignState()
+        self.now = 0.0
+        self.leased_by = {}          # worker -> key
+        for key in KEYS:
+            self.state.apply({"event": "submit", "key": key})
+
+    def claim(self, worker):
+        if worker in self.leased_by:
+            return
+        task = self.state.claimable(self.now)
+        if task is None:
+            return
+        self.state.apply({"event": "lease", "key": task.key,
+                          "worker": worker, "attempt": task.attempt + 1,
+                          "expires": self.now + TTL})
+        self.leased_by[worker] = task.key
+
+    def heartbeat(self, worker):
+        key = self.leased_by.get(worker)
+        if key is None:
+            return
+        task = self.state.tasks[key]
+        if task.lease is None or task.lease.worker != worker:
+            self.leased_by.pop(worker, None)   # lease was reclaimed
+            return
+        self.state.apply({"event": "heartbeat", "key": key,
+                          "worker": worker, "expires": self.now + TTL})
+
+    def reclaim(self):
+        for task in self.state.expired_leases(self.now):
+            record = plan_reclaim(task, self.now, max_attempts=100,
+                                  poison_threshold=100, backoff=0.5)
+            self.state.apply(record)
+
+    def finish(self, event, key, worker):
+        # Workers finish whatever they hold — including a lease that
+        # already expired and was reclaimed (the duplicate-terminal
+        # race the journal must absorb).
+        record = {"event": event, "key": key, "worker": worker}
+        if event == "failed":
+            record["failure"] = {"kind": "crash", "message": "prop"}
+        self.state.apply(record)
+        if self.leased_by.get(worker) == key:
+            del self.leased_by[worker]
+
+    def run(self, ops):
+        for action in ops:
+            if action[0] == "claim":
+                self.claim(action[1])
+            elif action[0] == "heartbeat":
+                self.heartbeat(action[1])
+            elif action[0] == "advance":
+                self.now += action[1]
+            elif action[0] == "reclaim":
+                self.reclaim()
+            else:
+                self.finish("done" if action[0] == "done" else "failed",
+                            action[1], action[2])
+            self.check()
+
+    def check(self):
+        state = self.state
+        assert sorted(state.order) == sorted(KEYS), "task lost or invented"
+        assert len(set(state.order)) == len(KEYS), "task duplicated"
+        for task in state.iter_tasks():
+            if task.terminal:
+                assert task.lease is None
+            if task.status == "leased":
+                assert task.lease is not None
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(op, max_size=40))
+def test_no_interleaving_loses_or_duplicates_a_task(ops):
+    harness = Harness()
+    harness.run(ops)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(op, max_size=40))
+def test_first_terminal_outcome_is_sticky(ops):
+    harness = Harness()
+    outcomes = {}
+
+    original_apply = harness.state.apply
+
+    def apply(record):
+        original_apply(record)
+        for key in KEYS:
+            task = harness.state.tasks[key]
+            if task.terminal and key not in outcomes:
+                outcomes[key] = (task.status, task.completed_by)
+
+    harness.state.apply = apply
+    harness.run(ops)
+    for key, (status, completed_by) in outcomes.items():
+        task = harness.state.tasks[key]
+        assert (task.status, task.completed_by) == (status, completed_by)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(op, max_size=40))
+def test_reclaim_to_quiescence_never_strands_a_task(ops):
+    """After any interleaving, expire + reclaim everything: each task
+    must be terminal or claimable once its backoff gate opens."""
+    harness = Harness()
+    harness.run(ops)
+    harness.now += TTL + 1.0
+    harness.reclaim()
+    for task in harness.state.iter_tasks():
+        if not task.terminal:
+            assert task.status == "pending"
+            wake = harness.state.next_wake(harness.now)
+            assert task.not_before <= harness.now or wake is not None
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(op, max_size=60))
+def test_terminal_count_matches_distinct_terminal_keys(ops):
+    """done + failed + quarantined == number of distinct keys with a
+    terminal record — duplicates counted separately, never as tasks."""
+    harness = Harness()
+    terminal_keys = set()
+    extra_terminals = 0
+
+    for action in ops:
+        if action[0] in ("done", "fail"):
+            key = action[1]
+            if key in terminal_keys:
+                extra_terminals += 1
+            terminal_keys.add(key)
+    harness.run(ops)
+
+    counts = harness.state.counts()
+    terminal_total = (counts["done"] + counts["failed"]
+                      + counts["quarantined"])
+    assert terminal_total == len(terminal_keys)
+    assert counts["duplicates"] == extra_terminals
+    assert counts["total"] == len(KEYS)

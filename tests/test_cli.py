@@ -282,3 +282,64 @@ class TestEnvDefaults:
             assert parallel.default_use_cache() is False
         finally:
             parallel.configure(jobs=None, use_cache=None, progress=None)
+
+
+class TestCampaignCli:
+    def test_campaign_parser_defaults(self):
+        args = build_parser().parse_args(["campaign", "submit", "runs/"])
+        assert args.threads == 8 and args.rotations == 1
+        assert args.lease_ttl == 60.0
+        assert args.max_attempts == 3 and args.poison_threshold == 3
+
+    def test_worker_parser_flags(self):
+        args = build_parser().parse_args([
+            "worker", "runs/", "--drain", "--id", "w0",
+            "--max-tasks", "5", "--chaos", "plan.json",
+        ])
+        assert args.directory == "runs/"
+        assert args.drain and args.worker_id == "w0"
+        assert args.max_tasks == 5 and args.chaos == "plan.json"
+
+    def test_experiment_fabric_flags(self):
+        args = build_parser().parse_args([
+            "experiment", "fig3", "--fabric", "--fabric-dir", "fab/",
+        ])
+        assert args.fabric is True
+        assert args.fabric_dir == "fab/"
+
+    def test_submit_status_drain_round_trip(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        report = str(tmp_path / "report.json")
+        code, out = run_cli(
+            "campaign", "submit", directory, "--threads", "2",
+            "--rotations", "1", "--fast",
+        )
+        assert code == 0
+        assert "submitted 1 new task(s)" in out
+        assert "1 pending" in out
+
+        code, out = run_cli("campaign", "submit", directory, "--threads",
+                            "2", "--rotations", "1", "--fast")
+        assert code == 0
+        assert "submitted 0 new task(s)" in out  # idempotent
+
+        code, out = run_cli("campaign", "drain", directory,
+                            "--report", report)
+        assert code == 0
+        assert "1/1 done" in out
+        from repro.experiments import export
+        document = export.load_fabric_json(report)
+        assert document["counts"] == {"done": 1}
+
+        code, out = run_cli("campaign", "status", directory)
+        assert code == 0
+        assert "1/1 done" in out
+
+    def test_worker_serves_nothing_on_empty_campaign(self, tmp_path):
+        from repro.sched.campaign import CampaignConfig, submit_specs
+
+        directory = str(tmp_path / "camp")
+        submit_specs(directory, [], CampaignConfig())
+        code, out = run_cli("worker", directory, "--drain")
+        assert code == 0
+        assert "0 task(s) completed" in out

@@ -1,0 +1,263 @@
+"""The chaos suite: seeded faults, exactly-once outcomes, bit-identity.
+
+The headline invariants (ISSUE acceptance):
+
+* every submitted RunSpec reaches **exactly one** terminal state, no
+  matter which faults fire — nothing lost, nothing double-counted;
+* the final campaign report is **bit-identical** to a fault-free
+  execution of the same campaign.
+
+Faults are injected by seeded :class:`FaultPlan` s on a virtual clock,
+so every failing interleaving is replayable from its seed.
+"""
+
+import pytest
+
+from repro.experiments.parallel import run_spec
+from repro.sched.state import DONE, FAILED, QUARANTINED, TERMINAL_STATES
+from repro.verify.chaos import (
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    run_chaos_campaign,
+)
+
+from tests.sched.conftest import tiny_spec
+
+
+@pytest.fixture(scope="module")
+def tiny_specs():
+    return [tiny_spec(rotation=r) for r in range(3)]
+
+
+@pytest.fixture(scope="module")
+def tiny_results(tiny_specs):
+    return {spec.key(): run_spec(spec) for spec in tiny_specs}
+
+
+@pytest.fixture(scope="module")
+def stub_run_fn(tiny_results):
+    def run(spec):
+        return tiny_results[spec.key()]
+
+    return run
+
+
+def baseline(tmp_path, specs, run_fn, **kwargs):
+    """The fault-free execution every chaos run must match."""
+    outcome = run_chaos_campaign(
+        str(tmp_path / "baseline"), specs, run_fn,
+        plan=FaultPlan(seed=0), **kwargs)
+    return outcome
+
+
+def assert_exactly_one_terminal(outcome, specs):
+    state = outcome.state
+    assert sorted(state.order) == sorted({s.key() for s in specs})
+    for task in state.iter_tasks():
+        assert task.status in TERMINAL_STATES, \
+            f"{task.key[:12]} stuck in {task.status}"
+    counts = state.counts()
+    assert counts["done"] + counts["failed"] + counts["quarantined"] \
+        == len({s.key() for s in specs})
+
+
+class TestSeededPlans:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_report_bit_identical_under_random_faults(
+            self, tmp_path, tiny_specs, stub_run_fn, seed):
+        reference = baseline(tmp_path, tiny_specs, stub_run_fn)
+        plan = FaultPlan.generate(seed, n_faults=8, horizon=30,
+                                  n_workers=2)
+        outcome = run_chaos_campaign(
+            str(tmp_path / f"chaos-{seed}"), tiny_specs, stub_run_fn,
+            plan=plan)
+        assert_exactly_one_terminal(outcome, tiny_specs)
+        assert outcome.report_bytes == reference.report_bytes, \
+            f"seed {seed} diverged: {plan.to_dict()}"
+
+    def test_chaos_run_is_replayable_from_its_seed(self, tmp_path,
+                                                   tiny_specs,
+                                                   stub_run_fn):
+        plan = FaultPlan.generate(3, n_faults=8, horizon=30)
+        first = run_chaos_campaign(str(tmp_path / "a"), tiny_specs,
+                                   stub_run_fn, plan=plan)
+        second = run_chaos_campaign(str(tmp_path / "b"), tiny_specs,
+                                    stub_run_fn, plan=plan)
+        assert first.report_bytes == second.report_bytes
+        assert first.killed_workers == second.killed_workers
+        assert first.ticks == second.ticks
+
+    def test_plan_round_trips_through_json(self, tmp_path):
+        plan = FaultPlan.generate(7, n_faults=5)
+        path = str(tmp_path / "plan.json")
+        plan.save(path)
+        loaded = FaultPlan.load(path)
+        assert loaded == plan
+        assert all(f.kind in FAULT_KINDS for f in loaded.faults)
+
+
+class TestTargetedFaults:
+    def test_killed_worker_mid_lease_loses_nothing(self, tmp_path,
+                                                   tiny_specs,
+                                                   stub_run_fn):
+        reference = baseline(tmp_path, tiny_specs, stub_run_fn)
+        plan = FaultPlan(seed=0, faults=[
+            Fault(kind="kill-worker", tick=1, worker=0),
+            Fault(kind="kill-worker", tick=2, worker=1),
+        ])
+        outcome = run_chaos_campaign(
+            str(tmp_path / "kills"), tiny_specs, stub_run_fn, plan=plan)
+        assert len(outcome.killed_workers) == 2
+        assert_exactly_one_terminal(outcome, tiny_specs)
+        assert outcome.report_bytes == reference.report_bytes
+
+    def test_stalled_worker_duplicate_finish_is_absorbed(
+            self, tmp_path, tiny_specs, stub_run_fn):
+        """A stall longer than the TTL forces the duplicate-terminal
+        race: the lease is reclaimed, another worker completes the
+        task, and the stalled worker's late ``done`` must be counted
+        as a duplicate — never as a second completion."""
+        reference = baseline(tmp_path, tiny_specs, stub_run_fn)
+        plan = FaultPlan(seed=0, faults=[
+            Fault(kind="stall-worker", tick=1, worker=0, ticks=8),
+        ])
+        outcome = run_chaos_campaign(
+            str(tmp_path / "stall"), tiny_specs, stub_run_fn, plan=plan,
+            lease_ttl=3.0, work_ticks=2)
+        assert_exactly_one_terminal(outcome, tiny_specs)
+        assert outcome.state.duplicates >= 1, \
+            "stall never produced the late-finish race this test exists for"
+        assert outcome.report_bytes == reference.report_bytes
+
+    def test_dropped_heartbeats_only_cost_time(self, tmp_path, tiny_specs,
+                                               stub_run_fn):
+        reference = baseline(tmp_path, tiny_specs, stub_run_fn)
+        plan = FaultPlan(seed=0, faults=[
+            Fault(kind="drop-heartbeat", tick=t, worker=t % 2)
+            for t in range(1, 7)
+        ])
+        outcome = run_chaos_campaign(
+            str(tmp_path / "drops"), tiny_specs, stub_run_fn, plan=plan)
+        assert_exactly_one_terminal(outcome, tiny_specs)
+        assert outcome.report_bytes == reference.report_bytes
+
+    def test_torn_journal_tail_recovers(self, tmp_path, tiny_specs,
+                                        stub_run_fn):
+        reference = baseline(tmp_path, tiny_specs, stub_run_fn)
+        plan = FaultPlan(seed=0, faults=[
+            Fault(kind="tear-journal", tick=2, fraction=0.4),
+            Fault(kind="tear-journal", tick=5, fraction=0.7),
+        ])
+        outcome = run_chaos_campaign(
+            str(tmp_path / "tears"), tiny_specs, stub_run_fn, plan=plan)
+        assert outcome.torn == 2
+        assert_exactly_one_terminal(outcome, tiny_specs)
+        assert outcome.report_bytes == reference.report_bytes
+
+    def test_corrupted_cache_entries_recomputed(self, tmp_path, tiny_specs,
+                                                stub_run_fn):
+        reference = baseline(tmp_path, tiny_specs, stub_run_fn)
+        plan = FaultPlan(seed=0, faults=[
+            Fault(kind="corrupt-cache", tick=6),
+            Fault(kind="corrupt-cache", tick=9),
+        ])
+        outcome = run_chaos_campaign(
+            str(tmp_path / "rot"), tiny_specs, stub_run_fn, plan=plan)
+        assert_exactly_one_terminal(outcome, tiny_specs)
+        assert outcome.report_bytes == reference.report_bytes
+
+    def test_everything_at_once(self, tmp_path, tiny_specs, stub_run_fn):
+        reference = baseline(tmp_path, tiny_specs, stub_run_fn)
+        plan = FaultPlan(seed=0, faults=[
+            Fault(kind="kill-worker", tick=1, worker=0),
+            Fault(kind="stall-worker", tick=2, worker=1, ticks=6),
+            Fault(kind="drop-heartbeat", tick=3, worker=1),
+            Fault(kind="tear-journal", tick=4, fraction=0.3),
+            Fault(kind="corrupt-cache", tick=12),
+            Fault(kind="kill-worker", tick=14, worker=1),
+            Fault(kind="tear-journal", tick=16, fraction=0.8),
+        ])
+        outcome = run_chaos_campaign(
+            str(tmp_path / "all"), tiny_specs, stub_run_fn, plan=plan)
+        assert_exactly_one_terminal(outcome, tiny_specs)
+        assert outcome.report_bytes == reference.report_bytes
+
+
+class TestDeterministicFailures:
+    def test_deterministic_failure_fails_identically_under_chaos(
+            self, tmp_path, tiny_specs, stub_run_fn):
+        """A spec that genuinely fails must fail the same way with and
+        without faults — chaos may not flip failures into successes."""
+        bad_key = tiny_specs[1].key()
+
+        def flaky_spec(spec):
+            if spec.key() == bad_key:
+                raise ValueError("deterministically broken workload")
+            return stub_run_fn(spec)
+
+        # max_attempts=1 keeps retries from multiplying the failure;
+        # with a single attempt per task the plan must stick to faults
+        # that cannot expire a lease (a kill or stall would turn a good
+        # task into failed/lost — a legitimate outcome, but not this
+        # test's subject).
+        reference = baseline(tmp_path, tiny_specs, flaky_spec,
+                             max_attempts=1)
+        plan = FaultPlan.generate(
+            11, n_faults=6, horizon=25,
+            kinds=("drop-heartbeat", "tear-journal", "corrupt-cache"))
+        outcome = run_chaos_campaign(
+            str(tmp_path / "chaos"), tiny_specs, flaky_spec, plan=plan,
+            max_attempts=1)
+        assert_exactly_one_terminal(outcome, tiny_specs)
+        states = {t.key: t.status for t in outcome.state.iter_tasks()}
+        assert states[bad_key] == FAILED
+        assert outcome.report_bytes == reference.report_bytes
+
+    def test_poison_task_quarantined_never_retried_forever(
+            self, tmp_path, tiny_specs, stub_run_fn):
+        """Kill every worker that touches task 0: with a tight poison
+        threshold it must be quarantined, the rest completed.  (No
+        baseline comparison — poison is an environmental outcome.)"""
+        plan = FaultPlan(seed=0, faults=[
+            # Workers claim in submit order; killing slot 0 repeatedly
+            # right after its claim ticks feeds the poison detector.
+            Fault(kind="kill-worker", tick=1, worker=0),
+            Fault(kind="kill-worker", tick=6, worker=0),
+            Fault(kind="kill-worker", tick=11, worker=0),
+            Fault(kind="kill-worker", tick=16, worker=0),
+            Fault(kind="kill-worker", tick=21, worker=0),
+            Fault(kind="kill-worker", tick=26, worker=0),
+        ])
+        outcome = run_chaos_campaign(
+            str(tmp_path / "poison"), tiny_specs, stub_run_fn, plan=plan,
+            n_workers=1, poison_threshold=2, max_attempts=50,
+            lease_ttl=3.0)
+        assert_exactly_one_terminal(outcome, tiny_specs)
+        counts = outcome.state.counts()
+        assert counts[QUARANTINED] >= 1
+        quarantined = [t for t in outcome.state.iter_tasks()
+                       if t.status == QUARANTINED]
+        for task in quarantined:
+            assert task.failure["kind"] == "poison"
+            assert len(task.failure["details"]["suspects"]) >= 2
+
+    def test_bounded_retries_exhaust_to_lost(self, tmp_path, tiny_specs,
+                                             stub_run_fn):
+        """With retries capped at 1 a single kill costs the task: the
+        reclaim records ``failed/lost`` instead of requeueing."""
+        plan = FaultPlan(seed=0, faults=[
+            Fault(kind="kill-worker", tick=1, worker=0),
+        ])
+        outcome = run_chaos_campaign(
+            str(tmp_path / "lost"), tiny_specs, stub_run_fn, plan=plan,
+            n_workers=1, max_attempts=1, poison_threshold=50,
+            lease_ttl=3.0)
+        assert_exactly_one_terminal(outcome, tiny_specs)
+        lost = [t for t in outcome.state.iter_tasks()
+                if t.status == FAILED]
+        assert len(lost) == 1
+        assert lost[0].failure["kind"] == "lost"
+        done = [t for t in outcome.state.iter_tasks()
+                if t.status == DONE]
+        assert len(done) == len(tiny_specs) - 1

@@ -14,8 +14,12 @@ Usage::
     python -m repro experiment fig4 --resume ~/.cache/repro-smt/campaigns/fig4.jsonl
     python -m repro experiment fig3 --fast --fabric [--jobs N]
     python -m repro campaign submit runs/ --threads 8 --rotations 4 --fast
-    python -m repro campaign status runs/ [--reclaim]
+    python -m repro campaign status runs/ [--reclaim] [--json]
     python -m repro campaign drain runs/ --jobs 2 --report report.json
+    python -m repro campaign cancel runs/ [--keys KEY ...]
+    python -m repro serve runs/ --unix serve.sock [--port 7301]
+    python -m repro campaign submit --server localhost:7301 --threads 8
+    python -m repro campaign status --server serve.sock --follow
     python -m repro worker runs/ --drain [--id w0] [--chaos plan.json]
     python -m repro fuzz --seeds 25 --max-cycles 3000 [--jobs N]
     python -m repro fuzz --seeds 500 --journal fuzz.jsonl --timeout 120
@@ -405,9 +409,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "of polling for new submissions")
     worker.add_argument("--max-tasks", type=int, default=None, metavar="N",
                         help="exit after completing N tasks")
-    worker.add_argument("--poll", type=float, default=0.5,
+    worker.add_argument("--poll", type=float, default=None,
                         metavar="SECONDS",
-                        help="idle poll interval (default 0.5)")
+                        help="idle poll base interval (default: "
+                             "REPRO_WORKER_POLL or 0.5; idle workers "
+                             "back off exponentially with jitter)")
     worker.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="content-addressed result store (default: "
                              "<JOURNAL_DIR>/results)")
@@ -422,9 +428,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     csub = camp.add_subparsers(dest="campaign_command", required=True)
 
+    def _server_args(p):
+        p.add_argument("--server", metavar="ADDR", default=None,
+                       help="talk to a running 'repro serve' instead of "
+                            "the filesystem: HOST:PORT or a Unix socket "
+                            "path")
+        p.add_argument("--token", default=None,
+                       help="shared-secret auth token (default: "
+                            "REPRO_SERVE_TOKEN)")
+
     csubmit = csub.add_parser(
         "submit", help="append a grid of runs to a campaign queue")
-    csubmit.add_argument("directory", metavar="JOURNAL_DIR")
+    csubmit.add_argument("directory", metavar="JOURNAL_DIR", nargs="?",
+                         default=None)
+    _server_args(csubmit)
     csubmit.add_argument("--threads", type=int, default=8,
                          help="hardware contexts per run (default 8)")
     csubmit.add_argument("--policy", type=_fetch_policy_spec,
@@ -455,10 +472,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     cstatus = csub.add_parser(
         "status", help="replay the journal and print campaign state")
-    cstatus.add_argument("directory", metavar="JOURNAL_DIR")
+    cstatus.add_argument("directory", metavar="JOURNAL_DIR", nargs="?",
+                         default=None)
+    _server_args(cstatus)
     cstatus.add_argument("--reclaim", action="store_true",
                          help="also reclaim expired leases (requeue / "
                               "quarantine / fail them) before printing")
+    cstatus.add_argument("--json", action="store_true",
+                         help="print the machine-readable "
+                              "repro.service_status document (the same "
+                              "one the service 'status' verb returns)")
+    cstatus.add_argument("--follow", action="store_true",
+                         help="with --server: stream state deltas until "
+                              "the campaign is terminal or the server "
+                              "drains")
+
+    ccancel = csub.add_parser(
+        "cancel", help="cancel pending tasks (leased and terminal tasks "
+                       "are untouched)")
+    ccancel.add_argument("directory", metavar="JOURNAL_DIR", nargs="?",
+                         default=None)
+    _server_args(ccancel)
+    ccancel.add_argument("--keys", nargs="*", default=None, metavar="KEY",
+                         help="cancel only these task keys "
+                              "(default: every pending task)")
 
     cdrain = csub.add_parser(
         "drain", help="run workers until every task is terminal, then "
@@ -472,6 +509,33 @@ def build_parser() -> argparse.ArgumentParser:
     cdrain.add_argument("--report", metavar="PATH", default=None,
                         help="write the canonical campaign report "
                              "document as JSON")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a campaign directory over TCP / a Unix socket "
+             "(JSON-lines protocol; see docs/fabric.md)",
+    )
+    serve.add_argument("directory", metavar="JOURNAL_DIR",
+                       help="campaign directory to front (created if "
+                            "missing)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None, metavar="N",
+                       help="TCP port (0 = ephemeral; printed at start)")
+    serve.add_argument("--unix", metavar="PATH", default=None,
+                       help="Unix-domain socket path")
+    serve.add_argument("--token", default=None,
+                       help="require this shared-secret token on every "
+                            "request (default: REPRO_SERVE_TOKEN)")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       metavar="N",
+                       help="concurrent submit limit before structured "
+                            "'busy' rejections (default: "
+                            "REPRO_SERVE_MAX_INFLIGHT or 4)")
+    serve.add_argument("--follow-poll", type=float, default=0.2,
+                       metavar="SECONDS",
+                       help="journal re-replay interval for status "
+                            "followers (default 0.2)")
 
     sub.add_parser(
         "policies",
@@ -857,13 +921,35 @@ def cmd_worker(args) -> int:
     return 0
 
 
+def _print_status_counts(document) -> None:
+    counts = document["counts"]
+    print(f"campaign {document['name']}: "
+          f"{counts['done']}/{counts['total']} done, "
+          f"{counts['pending']} pending, {counts['leased']} leased, "
+          f"{counts['failed']} failed, "
+          f"{counts['quarantined']} quarantined")
+
+
 def cmd_campaign(args) -> int:
     """The ``repro campaign`` family (see docs/fabric.md)."""
+    import json as _json
     import os as _os
 
     from repro.experiments.cache import ResultCache
     from repro.sched import campaign as campaign_mod
     from repro.sched.state import load_state
+
+    server = getattr(args, "server", None)
+    if args.campaign_command in ("submit", "status", "cancel"):
+        if server is None and args.directory is None:
+            print("error: give a JOURNAL_DIR or --server ADDR",
+                  file=sys.stderr)
+            return 2
+        if server is not None and args.directory is not None:
+            print("error: JOURNAL_DIR and --server are mutually "
+                  "exclusive (the server owns its directory)",
+                  file=sys.stderr)
+            return 2
 
     if args.campaign_command == "submit":
         from repro.experiments.parallel import RunSpec
@@ -888,13 +974,27 @@ def cmd_campaign(args) -> int:
             )
             for rotation in range(max(1, args.rotations))
         ]
-        name = args.name or _os.path.basename(
-            args.directory.rstrip(_os.sep)) or "campaign"
+        name = args.name or (_os.path.basename(
+            args.directory.rstrip(_os.sep)) if args.directory else None) \
+            or "campaign"
         config = campaign_mod.CampaignConfig(
             name=name, lease_ttl=args.lease_ttl,
             max_attempts=args.max_attempts,
             poison_threshold=args.poison_threshold,
         )
+        if server is not None:
+            from repro.service.client import ServiceClient, ServiceError
+
+            try:
+                client = ServiceClient(server, token=args.token)
+                ack = client.submit(specs, config)
+            except ServiceError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            print(f"submitted {ack['added']} new task(s) via {server} "
+                  f"({ack['total'] - ack['added']} already queued)")
+            _print_status_counts(client.status())
+            return 0
         added = campaign_mod.submit_specs(args.directory, specs, config)
         print(f"submitted {added} new task(s) "
               f"({len(specs) - added} already queued)")
@@ -902,9 +1002,68 @@ def cmd_campaign(args) -> int:
         return 0
 
     if args.campaign_command == "status":
-        state = campaign_mod.campaign_status(args.directory,
-                                             reclaim=args.reclaim)
-        print(campaign_mod.describe_status(state))
+        if args.follow and server is None:
+            print("error: --follow needs --server (filesystem status "
+                  "is a one-shot replay)", file=sys.stderr)
+            return 2
+        if server is not None:
+            from repro.service.client import ServiceClient, ServiceError
+
+            client = ServiceClient(server, token=args.token)
+            try:
+                if args.follow:
+                    def _on_frame(frame) -> None:
+                        if args.json:
+                            print(_json.dumps(frame, sort_keys=True),
+                                  flush=True)
+                        elif "status" in frame:
+                            _print_status_counts(frame["status"])
+                        elif "counts" in frame:
+                            changed = ", ".join(
+                                f"{row['label'] or row['key'][:12]}:"
+                                f"{row['state']}"
+                                for row in frame.get("changed", []))
+                            print(f"  {frame['counts']}"
+                                  + (f"  ({changed})" if changed else ""),
+                                  flush=True)
+
+                    document, reason = client.follow(on_frame=_on_frame)
+                    if not args.json:
+                        print(f"follow ended: {reason}")
+                    return 0
+                document = client.status()
+            except (ServiceError, ConnectionError, OSError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+        else:
+            state = campaign_mod.campaign_status(args.directory,
+                                                 reclaim=args.reclaim)
+            if not args.json:
+                print(campaign_mod.describe_status(state))
+                return 0
+            document = campaign_mod.status_document(state)
+        if args.json:
+            print(_json.dumps(document, indent=2, sort_keys=True))
+        else:
+            _print_status_counts(document)
+        return 0
+
+    if args.campaign_command == "cancel":
+        keys = args.keys if args.keys else None
+        if server is not None:
+            from repro.service.client import ServiceClient, ServiceError
+
+            try:
+                cancelled = ServiceClient(
+                    server, token=args.token).cancel(keys)
+            except ServiceError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+        else:
+            cancelled = campaign_mod.cancel_tasks(args.directory, keys)
+        print(f"cancelled {len(cancelled)} pending task(s)")
+        for key in cancelled:
+            print(f"  {key}")
         return 0
 
     # drain
@@ -925,6 +1084,54 @@ def cmd_campaign(args) -> int:
     counts = document["counts"]
     bad = counts.get("failed", 0) + counts.get("quarantined", 0)
     return 1 if bad else 0
+
+
+def cmd_serve(args) -> int:
+    """Front a campaign directory with the asyncio service
+    (see docs/fabric.md, "The service front")."""
+    import asyncio
+    import signal as _signal
+
+    from repro.service.server import CampaignServer
+
+    if args.unix is None and args.port is None:
+        print("error: give --unix PATH and/or --port N", file=sys.stderr)
+        return 2
+    server = CampaignServer(
+        args.directory,
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        token=args.token,
+        max_inflight_submits=args.max_inflight,
+        follow_poll=args.follow_poll,
+    )
+
+    async def _amain() -> None:
+        await server.start()
+        for endpoint in server.endpoints:
+            print("serving " + args.directory + " on "
+                  + ":".join(str(part) for part in endpoint), flush=True)
+        if server.token is not None:
+            print("auth: shared-secret token required", flush=True)
+        loop = asyncio.get_running_loop()
+
+        def _request_drain() -> None:
+            asyncio.ensure_future(server.drain())
+
+        for signum in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, _request_drain)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loop: Ctrl-C still lands as KeyboardInterrupt
+        await server.wait_drained()
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:
+        pass
+    print(f"drained: {server.describe_counters()}")
+    return 0
 
 
 def cmd_perf(args) -> int:
@@ -1199,6 +1406,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fuzz": cmd_fuzz,
         "worker": cmd_worker,
         "campaign": cmd_campaign,
+        "serve": cmd_serve,
         "perf": cmd_perf,
         "workload": cmd_workload,
         "policies": cmd_policies,

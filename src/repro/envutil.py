@@ -19,11 +19,15 @@ The boolean knobs: ``REPRO_NO_CACHE``, ``REPRO_CHECK_INVARIANTS``,
 append — durability across power loss at a per-record syscall cost),
 ``REPRO_FABRIC`` (route ``execute_runs`` batches through the campaign
 scheduler).  (``REPRO_CACHE_DIR``, ``REPRO_JOBS``,
-``REPRO_RUN_TIMEOUT``, ``REPRO_MAX_RETRIES`` carry values, not truth.)
+``REPRO_RUN_TIMEOUT``, ``REPRO_MAX_RETRIES``, ``REPRO_SERVE_TOKEN``,
+``REPRO_SERVE_MAX_INFLIGHT``, ``REPRO_WORKER_POLL`` carry values, not
+truth.)
 
-:func:`env_int` covers the integer knobs: an unparsable value warns —
-naming the variable, the bad value, and the fallback — instead of
-being silently ignored.
+:func:`env_int` and :func:`env_float` cover the numeric knobs: an
+unparsable value warns — naming the variable, the bad value, and the
+fallback — instead of being silently ignored.  :func:`env_str` covers
+string knobs (the service auth token), treating whitespace-only values
+as unset.
 """
 
 from __future__ import annotations
@@ -98,3 +102,53 @@ def env_int(
     if minimum is not None:
         value = max(minimum, value)
     return value
+
+
+def env_float(
+    name: str,
+    fallback: float,
+    minimum: Optional[float] = None,
+    environ: Optional[Mapping[str, str]] = None,
+) -> float:
+    """The float value of environment variable ``name``.
+
+    Same contract as :func:`env_int`: unset/empty returns the
+    fallback, garbage warns and returns the fallback, ``minimum``
+    clamps.  Used by ``REPRO_WORKER_POLL`` (worker idle-poll base
+    interval, seconds).
+    """
+    source = os.environ if environ is None else environ
+    raw = source.get(name)
+    if raw is None or not raw.strip():
+        return fallback
+    try:
+        value = float(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring invalid {name}={raw!r} (not a number); "
+            f"using {fallback}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return fallback
+    if minimum is not None:
+        value = max(minimum, value)
+    return value
+
+
+def env_str(
+    name: str,
+    fallback: Optional[str] = None,
+    environ: Optional[Mapping[str, str]] = None,
+) -> Optional[str]:
+    """The stripped string value of ``name``; whitespace-only is unset.
+
+    Used by ``REPRO_SERVE_TOKEN`` (the campaign service's shared-secret
+    auth token) — an accidental ``REPRO_SERVE_TOKEN=" "`` must not
+    silently require a one-space password.
+    """
+    source = os.environ if environ is None else environ
+    raw = source.get(name)
+    if raw is None or not raw.strip():
+        return fallback
+    return raw.strip()

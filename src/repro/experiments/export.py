@@ -36,7 +36,11 @@ FigureData = Dict[str, List[ExperimentPoint]]
 #: ``repro.multicore_experiment`` allocation studies).
 #: v4: fabric campaign reports (``repro.fabric_campaign`` — the
 #: scheduler's canonical per-task terminal states + results).
-SCHEMA_VERSION = 4
+#: v5: campaign service documents (``repro.service_status`` — the
+#: machine-readable campaign status shared by ``repro campaign status
+#: --json`` and the service ``status`` verb; ``repro.service_stats`` —
+#: server counters).
+SCHEMA_VERSION = 5
 RUN_SCHEMA = "repro.run"
 EXPERIMENT_SCHEMA = "repro.experiment"
 VIOLATION_SCHEMA = "repro.violation"
@@ -44,6 +48,8 @@ CAMPAIGN_SCHEMA = "repro.campaign"
 MULTICORE_SCHEMA = "repro.multicore"
 MULTICORE_EXPERIMENT_SCHEMA = "repro.multicore_experiment"
 FABRIC_SCHEMA = "repro.fabric_campaign"
+SERVICE_STATUS_SCHEMA = "repro.service_status"
+SERVICE_STATS_SCHEMA = "repro.service_stats"
 
 #: SimResult scalar attributes exported per point.
 EXPORTED_METRICS = (
@@ -479,6 +485,66 @@ def load_fabric_json(path: str) -> Dict[str, Any]:
     """Load and validate a :func:`write_fabric_json` artifact."""
     with open(path, "r", encoding="utf-8") as handle:
         return _validate(json.load(handle), FABRIC_SCHEMA)
+
+
+# ----------------------------------------------------------------------
+# Campaign service documents (schema v5).
+# ----------------------------------------------------------------------
+def service_status_document(
+    name: str,
+    counts: Dict[str, int],
+    tasks: Sequence[Dict[str, Any]],
+    workers: Optional[Dict[str, str]] = None,
+) -> Dict[str, Any]:
+    """A campaign's machine-readable status as one document.
+
+    The single builder behind both ``repro campaign status --json`` and
+    the service ``status`` verb — the socket and the filesystem must
+    never disagree about what a campaign looks like.  ``tasks`` rows
+    come from :func:`repro.sched.campaign.status_rows`: identity,
+    current (not necessarily terminal) state, lease holder, attempt and
+    backoff detail — the *operational* view the canonical fabric report
+    deliberately omits.
+    """
+    return {
+        "schema": SERVICE_STATUS_SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+        "counts": dict(sorted(counts.items())),
+        "all_terminal": bool(tasks) and all(
+            row.get("terminal") for row in tasks),
+        "tasks": list(tasks),
+        "workers": dict(sorted((workers or {}).items())),
+    }
+
+
+def load_service_status_json(path: str) -> Dict[str, Any]:
+    """Load and validate a ``repro.service_status`` artifact."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return _validate(json.load(handle), SERVICE_STATUS_SCHEMA)
+
+
+def service_stats_document(server: Dict[str, Any],
+                           counters: Dict[str, int]) -> Dict[str, Any]:
+    """Server observability counters as a schema-versioned document.
+
+    ``server`` carries identity (directory, endpoints, protocol
+    version, draining flag); ``counters`` the monotonic event counts
+    (connections, submits, rejects, follower lag) the service ``stats``
+    verb exports.
+    """
+    return {
+        "schema": SERVICE_STATS_SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "server": dict(server),
+        "counters": dict(sorted(counters.items())),
+    }
+
+
+def load_service_stats_json(path: str) -> Dict[str, Any]:
+    """Load and validate a ``repro.service_stats`` artifact."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return _validate(json.load(handle), SERVICE_STATS_SCHEMA)
 
 
 def ascii_chart(

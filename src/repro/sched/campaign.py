@@ -220,6 +220,95 @@ def describe_status(state: CampaignState) -> str:
     return "\n".join(lines)
 
 
+def status_rows(state: CampaignState) -> List[Dict[str, Any]]:
+    """Per-task status rows (submit order): the *operational* view.
+
+    Unlike :func:`report_rows` — which is canonical and noise-free —
+    these rows carry attempts, lease holders, and backoff gates: the
+    live detail an operator (or the service ``status`` verb) needs to
+    see what the scheduler is doing right now.
+    """
+    rows = []
+    for task in state.iter_tasks():
+        failure = task.failure or {}
+        row: Dict[str, Any] = {
+            "key": task.key,
+            "label": task.label,
+            "state": task.status,
+            "terminal": task.terminal,
+            "attempt": task.attempt,
+        }
+        if task.lease is not None:
+            row["lease"] = {
+                "worker": task.lease.worker,
+                "expires": task.lease.expires,
+            }
+        if task.not_before:
+            row["not_before"] = task.not_before
+        if failure:
+            row["failure_kind"] = failure.get("kind")
+            row["failure_message"] = failure.get("message", "")
+        rows.append(row)
+    return rows
+
+
+def status_document(state: CampaignState) -> Dict[str, Any]:
+    """The campaign's machine-readable status (``repro.service_status``).
+
+    One builder for both consumers — ``repro campaign status --json``
+    and the service ``status`` verb — so socket and filesystem clients
+    always see the same shape.
+    """
+    from repro.experiments import export
+
+    return export.service_status_document(
+        state.name, state.counts(), status_rows(state),
+        workers=state.workers,
+    )
+
+
+# ----------------------------------------------------------------------
+# Cancellation.
+# ----------------------------------------------------------------------
+def cancel_tasks(
+    directory: str,
+    keys: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Cancel pending tasks: append terminal ``failed`` records with
+    kind ``cancelled``.
+
+    ``keys=None`` cancels every PENDING task; otherwise only the named
+    keys.  LEASED tasks are deliberately left alone — their worker
+    holds a valid lease and will finish or expire on its own; racing it
+    with a terminal record would make cancellation outcome-dependent on
+    timing, which first-terminal-wins replay forbids us to care about.
+    Terminal tasks are no-ops.  Returns the cancelled keys, in submit
+    order.
+    """
+    cancelled: List[str] = []
+    with lock_journal(directory):
+        state = load_state(directory)
+        wanted = None if keys is None else set(keys)
+        with JournalWriter(directory) as writer:
+            for task in state.iter_tasks():
+                if task.status != state_mod.PENDING:
+                    continue
+                if wanted is not None and task.key not in wanted:
+                    continue
+                record = {
+                    "event": "failed", "key": task.key,
+                    "failure": {
+                        "kind": "cancelled", "key": task.key,
+                        "message": "cancelled by client",
+                        "label": task.label,
+                    },
+                }
+                writer.append(record)
+                state.apply(record)
+                cancelled.append(task.key)
+    return cancelled
+
+
 # ----------------------------------------------------------------------
 # Result collection.
 # ----------------------------------------------------------------------

@@ -27,19 +27,28 @@ lease expiry for recovery.
 Signals (real mode, ``repro worker``): SIGTERM sets the drain flag —
 the worker finishes its current task, announces ``stopped``, and exits
 cleanly.  SIGINT releases the current task back to the queue and exits.
+
+Idle polling: an idle worker backs off exponentially (capped, with
+seeded per-worker jitter — see :func:`idle_delay`) instead of
+re-replaying the journal at a fixed cadence, but never sleeps past the
+next known lease expiry or backoff gate.  The base interval is
+``poll_interval`` / ``REPRO_WORKER_POLL``.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import signal
 import socket
 import threading
 import time
 import uuid
+import zlib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
+from repro.envutil import env_float
 from repro.experiments.cache import ResultCache
 from repro.sched import state as state_mod
 from repro.sched.campaign import (
@@ -76,6 +85,27 @@ def default_worker_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
 
 
+#: Worker idle-poll base interval, seconds (``REPRO_WORKER_POLL``).
+POLL_ENV = "REPRO_WORKER_POLL"
+DEFAULT_POLL_INTERVAL = 0.5
+#: Consecutive idle scans double the effective poll interval up to this
+#: multiple of the base — a fleet parked on a drained campaign backs off
+#: to ~16× instead of hammering the journal in lockstep.
+MAX_IDLE_BACKOFF = 16
+
+
+def idle_delay(base: float, idle_scans: int, jitter: random.Random) -> float:
+    """The idle sleep after ``idle_scans`` consecutive empty scans.
+
+    Capped exponential backoff (1×, 2×, 4×, ... ``MAX_IDLE_BACKOFF``×
+    the base) with ±25% deterministic per-worker jitter, so a fleet of
+    workers started together neither polls in lockstep nor thunders
+    back onto the journal lock at the same instant.
+    """
+    scale = min(2 ** max(0, idle_scans - 1), MAX_IDLE_BACKOFF)
+    return base * scale * jitter.uniform(0.75, 1.25)
+
+
 class Worker:
     """One lease-holding executor bound to a campaign directory.
 
@@ -95,7 +125,7 @@ class Worker:
         run_fn: Optional[Callable[[Any], Any]] = None,
         clock: Optional[Callable[[], float]] = None,
         heartbeats: bool = True,
-        poll_interval: float = 0.5,
+        poll_interval: Optional[float] = None,
     ):
         self.directory = directory
         self.cache = cache if cache is not None else \
@@ -104,7 +134,13 @@ class Worker:
         self._run_fn = run_fn
         self.clock = clock or time.time
         self.heartbeats = heartbeats
-        self.poll_interval = poll_interval
+        self.poll_interval = poll_interval if poll_interval is not None \
+            else env_float(POLL_ENV, DEFAULT_POLL_INTERVAL, minimum=0.05)
+        # Seeded per-worker: jitter is reproducible for a given worker
+        # id, and different across a fleet of distinct ids.
+        self._jitter = random.Random(
+            zlib.crc32(self.worker_id.encode("utf-8")))
+        self._idle_scans = 0
         self.config = CampaignConfig()
         self.tasks_done = 0
         self._draining = False
@@ -297,15 +333,21 @@ class Worker:
                         break
                     if self.step():
                         served += 1
+                        self._idle_scans = 0
                         continue
                     state = self.scan()
                     if drain and state.tasks and state.all_terminal():
                         break
                     if drain and not state.tasks:
                         break
+                    self._idle_scans += 1
+                    delay = idle_delay(self.poll_interval,
+                                       self._idle_scans, self._jitter)
+                    # Never sleep past a known wake-up (a lease expiry
+                    # or backoff gate) — backoff must not delay reclaim.
                     wake = state.next_wake(self.now())
-                    delay = self.poll_interval if wake is None \
-                        else min(self.poll_interval, max(0.05, wake))
+                    if wake is not None:
+                        delay = min(delay, max(0.05, wake))
                     time.sleep(delay)
             except KeyboardInterrupt:
                 self.announce("interrupted")

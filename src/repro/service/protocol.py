@@ -1,0 +1,213 @@
+"""The campaign service wire protocol: versioned JSON-lines frames.
+
+One frame is one JSON object on one ``\\n``-terminated line — the same
+shape as the journal itself, so a frame can be inspected with the same
+tools.  Requests carry a client-chosen ``id`` that every response frame
+echoes; streaming verbs (``status`` with ``follow``) emit any number of
+``stream`` frames for one id before the final frame, which carries
+``done: true``.
+
+Request frame::
+
+    {"proto": 1, "id": "a1b2...", "verb": "status", "token": "...",
+     ...verb parameters...}
+
+Response frames::
+
+    {"id": "a1b2...", "ok": true, ...payload...}
+    {"id": "a1b2...", "ok": true, "stream": true, ...delta...}
+    {"id": "a1b2...", "ok": true, "done": true, ...payload...}
+    {"id": "a1b2...", "ok": false,
+     "error": {"kind": "busy", "message": "..."}}
+
+Error kinds are closed (:data:`ERROR_KINDS`) so clients can switch on
+them: ``busy`` and ``draining`` are transient (retry with backoff),
+``auth`` and ``bad-request`` are not.  Unknown request fields are
+ignored (forward compatibility); an unknown ``proto`` or verb is a
+``bad-request`` — the server never guesses.
+
+Schema validation mirrors :mod:`repro.experiments.export`: frames are
+plain dicts, but :func:`validate_request` and :func:`validate_response`
+reject malformed ones with a structured :class:`ProtocolError` instead
+of letting a half-typed frame wander into the journal path.
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+from typing import Any, Dict, Optional, Tuple
+
+#: Bumped on any change to frame layout or verb semantics.  A server
+#: answers only its own version; clients send it in every request.
+PROTOCOL_VERSION = 1
+
+#: Frames above this size are refused outright — a submit batch that
+#: large should be split, and an unbounded readline is a memory DoS.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: The closed verb set.
+VERBS = (
+    "ping",         # liveness probe
+    "server-info",  # protocol version, endpoints, schema versions
+    "submit",       # idempotent content-addressed campaign submission
+    "status",       # one-shot or follow-streamed campaign state
+    "results",      # the canonical fabric report document
+    "cancel",       # cancel pending tasks
+    "stats",        # server counters as a schema-versioned document
+)
+
+#: The closed error-kind set.  ``busy`` and ``draining`` are transient.
+ERROR_KINDS = (
+    "bad-request",  # malformed frame, unknown verb, bad parameters
+    "auth",         # missing or wrong shared-secret token
+    "busy",         # max-inflight-submits backpressure limit hit
+    "draining",     # server is shutting down; no new submits
+    "not-found",    # referenced key/campaign does not exist
+    "internal",     # the verb handler raised
+)
+
+TRANSIENT_ERROR_KINDS = frozenset(("busy", "draining"))
+
+
+class ProtocolError(ValueError):
+    """A frame that violates the protocol (carries an error kind)."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind if kind in ERROR_KINDS else "bad-request"
+        self.message = message
+
+
+def new_request_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+def encode_frame(frame: Dict[str, Any]) -> bytes:
+    """One frame as its canonical wire bytes (sorted keys, one line)."""
+    data = json.dumps(frame, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8") + b"\n"
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "bad-request",
+            f"frame of {len(data)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit",
+        )
+    return data
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line into a frame dict.
+
+    Raises :class:`ProtocolError` on torn, oversized, or non-object
+    frames — the caller decides whether that ends the connection.
+    """
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError("bad-request", "frame exceeds size limit")
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(
+            "bad-request", f"unparseable frame: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise ProtocolError("bad-request", "frame must be a JSON object")
+    return frame
+
+
+# ----------------------------------------------------------------------
+# Requests.
+# ----------------------------------------------------------------------
+def request_frame(
+    verb: str,
+    request_id: Optional[str] = None,
+    token: Optional[str] = None,
+    **params: Any,
+) -> Dict[str, Any]:
+    """Build a request frame (client side)."""
+    if verb not in VERBS:
+        raise ProtocolError("bad-request", f"unknown verb {verb!r}")
+    frame: Dict[str, Any] = {
+        "proto": PROTOCOL_VERSION,
+        "id": request_id or new_request_id(),
+        "verb": verb,
+    }
+    if token is not None:
+        frame["token"] = token
+    for key, value in params.items():
+        if value is not None:
+            frame[key] = value
+    return frame
+
+
+def validate_request(frame: Dict[str, Any]) -> Tuple[str, str]:
+    """Check a request frame's envelope; returns ``(verb, id)``.
+
+    Verb parameters are validated by the verb handlers — this guards
+    only the envelope every verb shares.
+    """
+    proto = frame.get("proto")
+    if proto != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "bad-request",
+            f"unsupported protocol version {proto!r} "
+            f"(this server speaks {PROTOCOL_VERSION})",
+        )
+    verb = frame.get("verb")
+    if verb not in VERBS:
+        raise ProtocolError(
+            "bad-request",
+            f"unknown verb {verb!r} (known: {', '.join(VERBS)})",
+        )
+    request_id = frame.get("id")
+    if not isinstance(request_id, str) or not request_id:
+        raise ProtocolError("bad-request", "request id must be a "
+                                           "non-empty string")
+    return verb, request_id
+
+
+# ----------------------------------------------------------------------
+# Responses.
+# ----------------------------------------------------------------------
+def ok_response(request_id: str, *, stream: bool = False,
+                done: bool = False, **payload: Any) -> Dict[str, Any]:
+    frame: Dict[str, Any] = {"id": request_id, "ok": True}
+    if stream:
+        frame["stream"] = True
+    if done:
+        frame["done"] = True
+    frame.update(payload)
+    return frame
+
+
+def error_response(request_id: Optional[str], kind: str,
+                   message: str) -> Dict[str, Any]:
+    if kind not in ERROR_KINDS:
+        kind = "internal"
+    return {
+        "id": request_id or "?",
+        "ok": False,
+        "error": {"kind": kind, "message": message},
+    }
+
+
+def validate_response(frame: Dict[str, Any],
+                      request_id: str) -> Dict[str, Any]:
+    """Check a response frame against the request it answers.
+
+    Raises :class:`ProtocolError` carrying the server's error kind when
+    the frame is a structured error, or ``bad-request`` when the frame
+    itself is malformed or answers a different request.
+    """
+    if frame.get("id") != request_id:
+        raise ProtocolError(
+            "bad-request",
+            f"response id {frame.get('id')!r} does not match "
+            f"request id {request_id!r}",
+        )
+    if frame.get("ok") is True:
+        return frame
+    error = frame.get("error")
+    if isinstance(error, dict):
+        raise ProtocolError(str(error.get("kind", "internal")),
+                            str(error.get("message", "server error")))
+    raise ProtocolError("bad-request", f"malformed response: {frame!r}")

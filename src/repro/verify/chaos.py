@@ -20,6 +20,15 @@ supplies that harness in two forms:
   ``repro worker --chaos plan.json`` that SIGKILL the live worker
   process at a chosen point or drop its heartbeats — used by the CI
   chaos smoke job to exercise recovery across genuine process death.
+* **Network faults** (:func:`chaos_submit`,
+  :func:`install_service_faults`): attacks on the campaign service
+  transport — dropped and half-written request frames, clients that
+  disconnect before reading their ack, and a server that dies between
+  accepting a submit and flushing its journal append (leaving a torn
+  tail).  Because submission is content-addressed and idempotent, a
+  clean retry after any of these must converge to exactly the same
+  journal — and the same byte-identical report — as a fault-free
+  filesystem submission.
 
 The chaos suite (``tests/verify/test_chaos.py``) asserts, for every
 fault mix: each submitted RunSpec reaches exactly one terminal state,
@@ -414,3 +423,122 @@ def install_process_faults(worker: Worker, plan: Dict[str, Any]) -> None:
 
     if plan.get("drop_heartbeats"):
         worker.on_heartbeat = lambda _worker, _task: False
+
+
+# ----------------------------------------------------------------------
+# Network faults (the campaign service transport).
+# ----------------------------------------------------------------------
+#: Fault kinds :func:`chaos_submit` can inject from the client side.
+NETWORK_FAULT_KINDS = (
+    "drop-frame",            # connect, send nothing, vanish
+    "half-frame",            # send a truncated request line, then close
+    "disconnect-mid-submit",  # full request sent, ack never read
+    "kill-server-mid-submit",  # server dies post-append (needs arming)
+)
+
+
+def chaos_submit(
+    address: str,
+    specs: Sequence[Any],
+    config: Optional[CampaignConfig] = None,
+    kinds: Sequence[str] = NETWORK_FAULT_KINDS,
+    token: Optional[str] = None,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Submit ``specs`` over the service while attacking the transport.
+
+    For each kind in ``kinds`` (in order, deterministically seeded), one
+    faulty submission attempt is made with a raw socket — a dropped
+    frame, a half-written frame, a full submit whose ack is never read,
+    or (when the server is armed via :func:`install_service_faults`) a
+    submit the server dies on after appending.  Then a *clean* retry
+    through :class:`~repro.service.client.ServiceClient` converges: the
+    journal is content-addressed, so however many of the faulty attempts
+    actually landed records, the retry adds only what is missing and the
+    final acked key set equals ``specs``.
+
+    Returns ``{"injected": [...], "ack": {...}}`` — the faults that were
+    actually delivered and the clean retry's submit response.
+    """
+    from repro.sched.campaign import spec_to_payload
+    from repro.service.client import Endpoint, ServiceClient
+    from repro.service.protocol import encode_frame, request_frame
+
+    endpoint = Endpoint.parse(address)
+    payloads = [spec_to_payload(spec) for spec in specs]
+    config_payload = config.to_dict() if config is not None else None
+    rng = random.Random(seed)
+    injected: List[str] = []
+    for kind in kinds:
+        if kind not in NETWORK_FAULT_KINDS:
+            raise ValueError(f"unknown network fault kind {kind!r}")
+        frame = request_frame("submit", token=token, specs=payloads,
+                              config=config_payload)
+        data = encode_frame(frame)
+        try:
+            sock = endpoint.connect(5.0)
+        except OSError:
+            # Server already gone — itself a fault the retry absorbs.
+            injected.append(kind + ":no-connect")
+            continue
+        try:
+            if kind == "drop-frame":
+                pass  # the connection itself is the only thing sent
+            elif kind == "half-frame":
+                cut = max(1, int(len(data) * rng.uniform(0.1, 0.9)))
+                sock.sendall(data[:cut])
+            else:
+                # Full frame on the wire; the ack is lost either because
+                # we leave (disconnect-mid-submit) or because the server
+                # dies before sending it (kill-server-mid-submit).
+                sock.sendall(data)
+                if kind == "kill-server-mid-submit":
+                    try:
+                        sock.settimeout(5.0)
+                        sock.recv(65536)  # EOF/reset from the abort
+                    except OSError:
+                        pass
+        except OSError:
+            pass  # an abort mid-send is exactly the point
+        finally:
+            sock.close()
+        injected.append(kind)
+    client = ServiceClient(address, token=token)
+    ack = client.submit(payloads, config)
+    return {"injected": injected, "ack": ack}
+
+
+def install_service_faults(
+    server: Any,
+    kills: int = 1,
+    point: str = "submit:post-journal",
+    tear: bool = True,
+    tear_fraction: float = 0.5,
+) -> Dict[str, int]:
+    """Arm a :class:`~repro.service.server.CampaignServer` to die
+    mid-submit.
+
+    The first ``kills`` times the server reaches ``point`` (default:
+    after the journal append, before the ack), it optionally tears the
+    journal tail mid-record — the on-disk shape of a SIGKILL between
+    accept and a completed flush — and aborts the connection with
+    nothing replied.  Clients see a dead socket; the journal holds a
+    torn record that replay must repair; an idempotent resubmission
+    must restore the lost task.
+
+    Returns the live counter dict (``{"kills": n}``) so tests can
+    assert the faults actually fired (``kills`` reaches 0).
+    """
+    from repro.service.server import ServiceKilled
+
+    remaining = {"kills": int(kills)}
+
+    def hook(reached: str) -> None:
+        if reached == point and remaining["kills"] > 0:
+            remaining["kills"] -= 1
+            if tear:
+                tear_journal_tail(server.directory, tear_fraction)
+            raise ServiceKilled(reached)
+
+    server.chaos_hook = hook
+    return remaining

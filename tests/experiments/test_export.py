@@ -312,3 +312,50 @@ class TestAsFigureData:
     def test_unknown_shape_rejected(self):
         with pytest.raises(TypeError):
             export.as_figure_data(42)
+
+
+class TestServiceDocuments:
+    def _status(self):
+        tasks = [
+            {"key": "a" * 8, "status": "done", "terminal": True},
+            {"key": "b" * 8, "status": "pending", "terminal": False},
+        ]
+        return export.service_status_document(
+            "svc", {"done": 1, "pending": 1}, tasks,
+            workers={"w0": "alive"})
+
+    def test_status_document_shape(self):
+        document = self._status()
+        assert document["schema"] == export.SERVICE_STATUS_SCHEMA
+        assert document["schema_version"] == export.SCHEMA_VERSION
+        assert document["name"] == "svc"
+        assert document["all_terminal"] is False
+        assert document["counts"] == {"done": 1, "pending": 1}
+        assert document["workers"] == {"w0": "alive"}
+
+    def test_all_terminal_requires_tasks(self):
+        empty = export.service_status_document("svc", {}, [])
+        assert empty["all_terminal"] is False
+        done = export.service_status_document(
+            "svc", {"done": 1},
+            [{"key": "a", "status": "done", "terminal": True}])
+        assert done["all_terminal"] is True
+
+    def test_status_round_trip(self, tmp_path):
+        path = os.path.join(tmp_path, "status.json")
+        with open(path, "w") as f:
+            json.dump(self._status(), f)
+        assert export.load_service_status_json(path) == self._status()
+
+    def test_stats_round_trip_and_wrong_schema(self, tmp_path):
+        document = export.service_stats_document(
+            {"directory": "/camp", "draining": False},
+            {"submits": 2, "busy_rejects": 0})
+        assert document["schema"] == export.SERVICE_STATS_SCHEMA
+        assert document["counters"] == {"busy_rejects": 0, "submits": 2}
+        path = os.path.join(tmp_path, "stats.json")
+        with open(path, "w") as f:
+            json.dump(document, f)
+        assert export.load_service_stats_json(path) == document
+        with pytest.raises(ValueError, match="expected schema"):
+            export.load_service_status_json(path)

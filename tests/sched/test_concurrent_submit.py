@@ -1,0 +1,129 @@
+"""Concurrent submitters: idempotent first-wins under real contention.
+
+Two *processes* race overlapping batches into the same campaign
+directory — the advisory flock serialises them, content addressing
+dedups them, and the union is exactly one task per distinct spec no
+matter who wins each record.  The same invariant is then pinned through
+the service front with concurrent socket clients.
+"""
+
+import multiprocessing
+import os
+
+from repro.core.config import SMTConfig
+from repro.experiments.parallel import RunSpec
+from repro.experiments.runner import RunBudget
+from repro.sched.campaign import CampaignConfig, submit_specs
+from repro.sched.journal import read_records
+from repro.sched.state import load_state
+
+from tests.sched.conftest import tiny_spec
+
+TINY = RunBudget(warmup_cycles=50, measure_cycles=200,
+                 functional_warmup_instructions=1000, rotations=1)
+
+
+def _make_specs(rotations):
+    # reconstructed inside each child: RunSpec grids are pure data
+    return [RunSpec(config=SMTConfig(n_threads=1), rotation=r,
+                    budget=TINY) for r in rotations]
+
+
+def _race_submit(directory, rotations, barrier, queue):
+    barrier.wait()  # maximise the window: both processes hit the lock
+    added = submit_specs(directory, _make_specs(rotations),
+                         CampaignConfig(name="race"))
+    queue.put((os.getpid(), added))
+
+
+class TestConcurrentFilesystemSubmitters:
+    def test_two_processes_racing_overlapping_batches(self, tmp_path):
+        directory = str(tmp_path / "race")
+        ctx = multiprocessing.get_context("fork") \
+            if "fork" in multiprocessing.get_all_start_methods() \
+            else multiprocessing.get_context()
+        barrier = ctx.Barrier(2)
+        queue = ctx.Queue()
+        # overlapping batches: rotations {0,1} and {1,2}
+        procs = [
+            ctx.Process(target=_race_submit,
+                        args=(directory, rotations, barrier, queue))
+            for rotations in ([0, 1], [1, 2])
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        added = [queue.get(timeout=10)[1] for _ in procs]
+
+        state = load_state(directory)
+        expected = sorted(s.key() for s in _make_specs([0, 1, 2]))
+        # union once each: the overlap (rotation 1) was submitted by
+        # exactly one winner
+        assert sorted(state.order) == expected
+        assert sum(added) == 3
+        # exactly one submit record per key and one campaign record —
+        # the loser of each race appended nothing for the overlap
+        records = list(read_records(directory))
+        assert sum(r.get("event") == "campaign" for r in records) == 1
+        submit_keys = [r["key"] for r in records
+                       if r.get("event") == "submit"]
+        assert sorted(submit_keys) == expected
+        assert len(submit_keys) == len(set(submit_keys))
+
+
+class TestConcurrentServiceSubmitters:
+    def test_two_socket_clients_racing_the_same_batch(self, tmp_path):
+        import threading
+
+        from repro.service.client import ServiceClient
+        from repro.service.server import ServerThread
+
+        specs = [tiny_spec(rotation=r) for r in range(3)]
+        sock = str(tmp_path / "race.sock")
+        handle = ServerThread(str(tmp_path / "camp"), unix_path=sock,
+                              use_env_token=False).start()
+        try:
+            results = []
+
+            def submit():
+                client = ServiceClient(sock)
+                ack = client.submit(specs, CampaignConfig(name="race"))
+                results.append(ack["added"])
+
+            threads = [threading.Thread(target=submit) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert len(results) == 2
+            # first wins: between them the clients added each task once
+            assert sum(results) == 3
+            state = load_state(handle.server.directory)
+            assert sorted(state.order) == sorted(s.key() for s in specs)
+        finally:
+            handle.stop()
+
+    def test_socket_and_filesystem_submitters_share_one_journal(
+            self, tmp_path):
+        from repro.service.client import ServiceClient
+        from repro.service.server import ServerThread
+
+        specs = [tiny_spec(rotation=r) for r in range(3)]
+        directory = str(tmp_path / "camp")
+        config = CampaignConfig(name="race")
+        # filesystem client submits a prefix first...
+        submit_specs(directory, specs[:2], config)
+        sock = str(tmp_path / "mixed.sock")
+        handle = ServerThread(directory, unix_path=sock,
+                              use_env_token=False).start()
+        try:
+            # ...then a socket client submits the full batch: only the
+            # genuinely new task is added
+            ack = ServiceClient(sock).submit(specs, config)
+            assert ack["added"] == 1
+            state = load_state(directory)
+            assert sorted(state.order) == sorted(s.key() for s in specs)
+        finally:
+            handle.stop()

@@ -1,0 +1,56 @@
+"""Shared fixtures for the campaign-service suite.
+
+Simulation results come from the scheduler suite's session memo (see
+``tests/sched/conftest.py``): each distinct tiny spec runs exactly once
+per session, and every server/worker in these tests serves from that
+memo through ``stub_run_fn``.
+"""
+
+import pytest
+
+from repro.experiments.parallel import run_spec
+
+from tests.sched.conftest import tiny_spec
+
+
+@pytest.fixture(scope="module")
+def tiny_specs():
+    return [tiny_spec(rotation=r) for r in range(3)]
+
+
+@pytest.fixture(scope="module")
+def tiny_results(tiny_specs):
+    return {spec.key(): run_spec(spec) for spec in tiny_specs}
+
+
+@pytest.fixture(scope="module")
+def stub_run_fn(tiny_results):
+    def run(spec):
+        return tiny_results[spec.key()]
+
+    return run
+
+
+@pytest.fixture()
+def server_factory(tmp_path, stub_run_fn):
+    """Start ServerThreads on Unix sockets under ``tmp_path``; always
+    drained at test exit."""
+    from repro.service.server import ServerThread
+
+    handles = []
+    counter = [0]
+
+    def start(directory=None, **kwargs):
+        counter[0] += 1
+        directory = directory or str(tmp_path / f"camp{counter[0]}")
+        kwargs.setdefault("unix_path",
+                          str(tmp_path / f"serve{counter[0]}.sock"))
+        kwargs.setdefault("run_fn", stub_run_fn)
+        kwargs.setdefault("use_env_token", False)
+        handle = ServerThread(directory, **kwargs).start()
+        handles.append(handle)
+        return handle
+
+    yield start
+    for handle in handles:
+        handle.stop()

@@ -1,0 +1,105 @@
+"""The sync client: address parsing and retry/backoff policy."""
+
+import pytest
+
+from repro.service.client import Endpoint, ServiceClient, ServiceError
+from repro.service.protocol import ProtocolError
+
+
+class TestEndpointParsing:
+    @pytest.mark.parametrize("address, family, detail", [
+        ("/tmp/serve.sock", "unix", "/tmp/serve.sock"),
+        ("serve.sock", "unix", "serve.sock"),
+        ("./relative/path", "unix", "./relative/path"),
+        ("localhost:7301", "tcp", ("localhost", 7301)),
+        ("10.0.0.5:80", "tcp", ("10.0.0.5", 80)),
+        (":7301", "tcp", ("127.0.0.1", 7301)),
+    ])
+    def test_parse(self, address, family, detail):
+        endpoint = Endpoint.parse(address)
+        assert endpoint.family == family
+        if family == "unix":
+            assert endpoint.path == detail
+        else:
+            assert (endpoint.host, endpoint.port) == detail
+
+    @pytest.mark.parametrize("address", ["", "  ", "localhost",
+                                         "host:notaport"])
+    def test_unparseable_addresses_refused(self, address):
+        with pytest.raises(ValueError):
+            Endpoint.parse(address)
+
+
+def make_client(**kwargs):
+    kwargs.setdefault("token", "")
+    kwargs.setdefault("backoff", 0.01)
+    return ServiceClient("127.0.0.1:1", **kwargs)
+
+
+class TestRetryPolicy:
+    def test_transient_errors_retry_with_exponential_backoff(
+            self, monkeypatch):
+        delays = []
+        client = make_client(retries=3, sleep=delays.append)
+        attempts = []
+
+        def fake_roundtrip(frame, request_id):
+            attempts.append(request_id)
+            if len(attempts) < 3:
+                raise ProtocolError("busy", "hold on")
+            return {"id": request_id, "ok": True, "pong": True}
+
+        monkeypatch.setattr(client, "_roundtrip", fake_roundtrip)
+        assert client.ping()["pong"] is True
+        assert delays == [0.01, 0.02]
+        # each attempt is a fresh request id (idempotence lives in the
+        # journal, not the id)
+        assert len(set(attempts)) == 3
+
+    def test_connection_errors_retry(self, monkeypatch):
+        client = make_client(retries=2, sleep=lambda _d: None)
+        calls = []
+
+        def fake_roundtrip(frame, request_id):
+            calls.append(1)
+            if len(calls) == 1:
+                raise ConnectionError("gone")
+            return {"id": request_id, "ok": True}
+
+        monkeypatch.setattr(client, "_roundtrip", fake_roundtrip)
+        client.ping()
+        assert len(calls) == 2
+
+    @pytest.mark.parametrize("kind", ["auth", "bad-request", "not-found"])
+    def test_structural_errors_do_not_retry(self, monkeypatch, kind):
+        client = make_client(retries=5, sleep=lambda _d: None)
+        calls = []
+
+        def fake_roundtrip(frame, request_id):
+            calls.append(1)
+            raise ProtocolError(kind, "no")
+
+        monkeypatch.setattr(client, "_roundtrip", fake_roundtrip)
+        with pytest.raises(ServiceError) as excinfo:
+            client.ping()
+        assert excinfo.value.kind == kind
+        assert not excinfo.value.transient
+        assert len(calls) == 1
+
+    def test_exhausted_retries_surface_the_last_error(self, monkeypatch):
+        client = make_client(retries=2, sleep=lambda _d: None)
+        monkeypatch.setattr(
+            client, "_roundtrip",
+            lambda _f, _r: (_ for _ in ()).throw(
+                ProtocolError("draining", "shutting down")))
+        with pytest.raises(ServiceError) as excinfo:
+            client.ping()
+        assert excinfo.value.kind == "draining"
+        assert excinfo.value.transient
+
+    def test_refused_connection_raises_after_retries(self):
+        # port 1 on localhost: nothing listens there
+        client = make_client(retries=1, timeout=0.2,
+                             sleep=lambda _d: None)
+        with pytest.raises(ServiceError, match="2 attempt"):
+            client.ping()

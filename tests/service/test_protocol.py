@@ -1,0 +1,103 @@
+"""The wire protocol: framing, envelopes, and structured errors."""
+
+import pytest
+
+from repro.service import protocol
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_response,
+    new_request_id,
+    ok_response,
+    request_frame,
+    validate_request,
+    validate_response,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frame = request_frame("status", request_id="abc", follow=True)
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_one_line_sorted_keys(self):
+        data = encode_frame({"b": 1, "a": 2})
+        assert data == b'{"a":2,"b":1}\n'
+
+    def test_oversized_frame_refused_on_encode(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"blob": "x" * MAX_FRAME_BYTES})
+
+    def test_oversized_line_refused_on_decode(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+    def test_garbage_and_non_object_lines_refused(self):
+        with pytest.raises(ProtocolError, match="unparseable"):
+            decode_frame(b'{"torn": tru')
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame(b"[1,2,3]\n")
+
+
+class TestRequests:
+    def test_request_frame_envelope(self):
+        frame = request_frame("submit", token="t", specs=[{"x": 1}])
+        assert frame["proto"] == PROTOCOL_VERSION
+        assert frame["verb"] == "submit"
+        assert frame["token"] == "t"
+        assert frame["specs"] == [{"x": 1}]
+        assert validate_request(frame) == ("submit", frame["id"])
+
+    def test_request_frame_skips_none_params(self):
+        frame = request_frame("cancel", keys=None)
+        assert "keys" not in frame
+
+    def test_unknown_verb_refused_at_build_time(self):
+        with pytest.raises(ProtocolError, match="unknown verb"):
+            request_frame("reboot")
+
+    @pytest.mark.parametrize("mutation, match", [
+        ({"proto": 2}, "unsupported protocol"),
+        ({"proto": None}, "unsupported protocol"),
+        ({"verb": "reboot"}, "unknown verb"),
+        ({"id": ""}, "request id"),
+        ({"id": 7}, "request id"),
+    ])
+    def test_envelope_violations(self, mutation, match):
+        frame = request_frame("ping")
+        frame.update(mutation)
+        with pytest.raises(ProtocolError, match=match):
+            validate_request(frame)
+
+    def test_request_ids_are_unique(self):
+        ids = {new_request_id() for _ in range(256)}
+        assert len(ids) == 256
+
+
+class TestResponses:
+    def test_ok_response_flags(self):
+        assert "stream" not in ok_response("r", value=1)
+        assert ok_response("r", stream=True)["stream"] is True
+        assert ok_response("r", done=True)["done"] is True
+
+    def test_error_response_clamps_unknown_kind(self):
+        frame = error_response("r", "made-up", "boom")
+        assert frame["error"]["kind"] == "internal"
+
+    def test_validate_response_id_mismatch(self):
+        with pytest.raises(ProtocolError, match="does not match"):
+            validate_response(ok_response("other"), "mine")
+
+    def test_validate_response_propagates_server_kind(self):
+        frame = error_response("r", "busy", "hold on")
+        with pytest.raises(ProtocolError) as excinfo:
+            validate_response(frame, "r")
+        assert excinfo.value.kind == "busy"
+        assert excinfo.value.kind in protocol.TRANSIENT_ERROR_KINDS
+
+    def test_validate_response_malformed(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            validate_response({"id": "r", "ok": False}, "r")

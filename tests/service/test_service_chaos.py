@@ -1,0 +1,113 @@
+"""Network chaos: the service front must not weaken the fabric's
+bit-identity guarantee.
+
+The ISSUE acceptance criteria pinned here:
+
+* a campaign submitted over the socket under injected network faults
+  AND worker faults yields a report byte-identical to the same specs
+  submitted through the filesystem with no faults at all;
+* a server killed between accepting a submit and flushing the journal
+  never leaves a torn record that replay cannot repair.
+"""
+
+from repro.sched.campaign import CampaignConfig
+from repro.sched.journal import read_records
+from repro.sched.state import load_state
+from repro.verify.chaos import (
+    FaultPlan,
+    chaos_submit,
+    install_service_faults,
+    run_chaos_campaign,
+)
+
+#: Matches ``run_chaos_campaign``'s defaults, so the socket-submitted
+#: campaign record and the baseline's are the same document.
+CHAOS_CONFIG = CampaignConfig(name="chaos", lease_ttl=3.0,
+                              max_attempts=10, poison_threshold=10,
+                              backoff=1.0)
+
+
+def fault_free_baseline(tmp_path, specs, run_fn):
+    """The same specs through the filesystem path with no faults."""
+    directory = str(tmp_path / "baseline")
+    outcome = run_chaos_campaign(directory, specs, run_fn,
+                                 plan=FaultPlan(seed=0))
+    return outcome.report_bytes
+
+
+class TestNetworkFaults:
+    def test_every_network_fault_converges_to_a_full_submission(
+            self, server_factory, tiny_specs):
+        handle = server_factory()
+        address = handle.endpoints[0][1]
+        outcome = chaos_submit(
+            address, tiny_specs, CHAOS_CONFIG,
+            kinds=("drop-frame", "half-frame", "disconnect-mid-submit"))
+        assert outcome["injected"] == ["drop-frame", "half-frame",
+                                       "disconnect-mid-submit"]
+        # however many faulty attempts landed records, the clean retry
+        # reports the full content-addressed set
+        assert outcome["ack"]["total"] == 3
+        assert sorted(outcome["ack"]["keys"]) == \
+            sorted(spec.key() for spec in tiny_specs)
+        state = load_state(handle.server.directory)
+        assert sorted(state.order) == sorted(s.key() for s in tiny_specs)
+        # dropped/half frames never reach the journal; complete submits
+        # dedup — so exactly one task per spec, no duplicates
+        assert state.counts()["total"] == 3
+
+    def test_headline_bit_identity_under_network_and_worker_faults(
+            self, tmp_path, server_factory, tiny_specs, stub_run_fn):
+        """Socket submission + network faults + server kill + worker
+        faults == filesystem submission with no faults, byte for byte."""
+        handle = server_factory()
+        address = handle.endpoints[0][1]
+        armed = install_service_faults(handle.server, kills=1)
+        chaos_submit(address, tiny_specs, CHAOS_CONFIG)
+        assert armed["kills"] == 0, "the server-kill fault never fired"
+        directory = handle.server.directory
+        handle.stop()  # the server is gone; the journal is the truth
+
+        # now drain the same directory under seeded worker faults
+        # (kills, stalls, dropped heartbeats, journal tears, cache rot);
+        # run_chaos_campaign resubmits the specs idempotently
+        plan = FaultPlan.generate(seed=1234, n_faults=6, n_workers=2)
+        outcome = run_chaos_campaign(directory, tiny_specs, stub_run_fn,
+                                     plan=plan)
+        assert outcome.state.counts()["done"] == 3
+        assert outcome.report_bytes == fault_free_baseline(
+            tmp_path, tiny_specs, stub_run_fn)
+
+
+class TestServerKillMidSubmit:
+    def test_torn_journal_is_repaired_and_resubmission_converges(
+            self, server_factory, tiny_specs):
+        handle = server_factory()
+        address = handle.endpoints[0][1]
+        armed = install_service_faults(handle.server, kills=1)
+        outcome = chaos_submit(address, tiny_specs, CHAOS_CONFIG,
+                               kinds=("kill-server-mid-submit",))
+        assert armed["kills"] == 0, "the server-kill fault never fired"
+        # replay over the torn journal must not crash, and the clean
+        # retry restored whatever record was torn
+        state = load_state(handle.server.directory)
+        assert sorted(state.order) == sorted(s.key() for s in tiny_specs)
+        assert outcome["ack"]["total"] == 3
+        assert state.counts()["pending"] == 3
+        # every surviving journal line parses (the repair on the next
+        # locked append truncated the torn fragment)
+        records = list(read_records(handle.server.directory))
+        assert any(r.get("event") == "campaign" for r in records)
+        assert sum(r.get("event") == "submit" for r in records) >= 3
+
+    def test_kill_without_tear_still_converges(self, server_factory,
+                                               tiny_specs):
+        # server dies after a *complete* append (ack lost, journal whole)
+        handle = server_factory()
+        address = handle.endpoints[0][1]
+        install_service_faults(handle.server, kills=1, tear=False)
+        outcome = chaos_submit(address, tiny_specs, CHAOS_CONFIG,
+                               kinds=("kill-server-mid-submit",))
+        # the faulty attempt journaled everything; the retry added 0
+        assert outcome["ack"]["added"] == 0
+        assert load_state(handle.server.directory).counts()["total"] == 3

@@ -9,7 +9,13 @@ Historically ``REPRO_NO_CACHE=0`` disabled the cache and
 
 import pytest
 
-from repro.envutil import BOOLEAN_KNOBS, env_flag, env_int
+from repro.envutil import (
+    BOOLEAN_KNOBS,
+    env_flag,
+    env_float,
+    env_int,
+    env_str,
+)
 
 UNSET_VALUES = ["", "0", "false", "False", "FALSE", "no", "off", " 0 "]
 SET_VALUES = ["1", "true", "True", "yes", "on", "2", "anything"]
@@ -64,6 +70,56 @@ class TestEnvInt:
         monkeypatch.setenv("REPRO_TEST_INT", "fourr")
         with pytest.warns(RuntimeWarning, match="REPRO_TEST_INT.*fourr.*9"):
             assert env_int("REPRO_TEST_INT", 9) == 9
+
+
+class TestEnvFloat:
+    def test_unset_and_blank_return_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_FLOAT", raising=False)
+        assert env_float("REPRO_TEST_FLOAT", 0.5) == 0.5
+        monkeypatch.setenv("REPRO_TEST_FLOAT", "  ")
+        assert env_float("REPRO_TEST_FLOAT", 0.5) == 0.5
+
+    def test_parses_and_clamps(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLOAT", "2.5")
+        assert env_float("REPRO_TEST_FLOAT", 0.5) == 2.5
+        monkeypatch.setenv("REPRO_TEST_FLOAT", "0.001")
+        assert env_float("REPRO_TEST_FLOAT", 0.5, minimum=0.05) == 0.05
+
+    def test_invalid_value_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLOAT", "half")
+        with pytest.warns(RuntimeWarning,
+                          match="REPRO_TEST_FLOAT.*half.*0.5"):
+            assert env_float("REPRO_TEST_FLOAT", 0.5) == 0.5
+
+    def test_worker_poll_knob_routes_through(self, monkeypatch):
+        from repro.sched.worker import Worker
+        monkeypatch.setenv("REPRO_WORKER_POLL", "0.1")
+        worker = Worker("/nonexistent-campaign", cache=object(),
+                        worker_id="w0")
+        assert worker.poll_interval == 0.1
+        # explicit argument wins over the environment
+        worker = Worker("/nonexistent-campaign", cache=object(),
+                        worker_id="w0", poll_interval=1.5)
+        assert worker.poll_interval == 1.5
+
+
+class TestEnvStr:
+    def test_unset_and_whitespace_return_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_STR", raising=False)
+        assert env_str("REPRO_TEST_STR") is None
+        monkeypatch.setenv("REPRO_TEST_STR", "   ")
+        assert env_str("REPRO_TEST_STR", "fallback") == "fallback"
+
+    def test_strips_surrounding_whitespace(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_STR", "  secret  ")
+        assert env_str("REPRO_TEST_STR") == "secret"
+
+    def test_serve_token_knob_routes_through(self, monkeypatch):
+        from repro.service.server import default_token
+        monkeypatch.delenv("REPRO_SERVE_TOKEN", raising=False)
+        assert default_token() is None
+        monkeypatch.setenv("REPRO_SERVE_TOKEN", "hunter2")
+        assert default_token() == "hunter2"
 
 
 class TestKnobsRouteThroughEnvFlag:
